@@ -1,0 +1,80 @@
+//! Criterion wall-clock benches: engineering performance of the substrate
+//! (the paper makes no wall-clock claims; these guard the simulator's and
+//! oracles' throughput so the experiment harness stays usable).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use congest_sim::{Message, Network, NodeProgram, RoundCtx, RunConfig, Topology};
+use dmst_core::{run_mst, ElkinConfig};
+use dmst_graphs::{generators as gen, mst};
+
+/// A trivial flood program: measures raw simulator round/delivery overhead.
+#[derive(Clone)]
+struct Flood {
+    seen: bool,
+    origin: bool,
+}
+
+#[derive(Clone)]
+struct Tok;
+impl Message for Tok {}
+
+impl NodeProgram for Flood {
+    type Msg = Tok;
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Tok>) {
+        if (self.origin || !ctx.inbox().is_empty()) && !self.seen {
+            self.seen = true;
+            for p in 0..ctx.degree() {
+                ctx.send(p, Tok);
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.seen
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let g = gen::torus_2d(32, 32, &mut gen::WeightRng::new(1));
+    c.bench_function("simulator/flood_torus_1024", |b| {
+        b.iter_batched(
+            || {
+                let topo = Topology::new(g.num_nodes(), g.edges()).unwrap();
+                Network::new(topo, |i| Flood { seen: false, origin: i.id == 0 })
+            },
+            |mut net| net.run(&RunConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("generators/random_connected_4096", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            gen::random_connected(4096, 12288, &mut gen::WeightRng::new(seed))
+        })
+    });
+}
+
+fn bench_sequential_mst(c: &mut Criterion) {
+    let g = gen::random_connected(4096, 16384, &mut gen::WeightRng::new(2));
+    c.bench_function("mst/kruskal_4096", |b| b.iter(|| mst::kruskal(&g)));
+    c.bench_function("mst/prim_4096", |b| b.iter(|| mst::prim(&g)));
+    c.bench_function("mst/boruvka_4096", |b| b.iter(|| mst::boruvka(&g)));
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let g = gen::torus_2d(16, 16, &mut gen::WeightRng::new(3));
+    c.bench_function("end_to_end/elkin_torus_256", |b| {
+        b.iter(|| run_mst(&g, &ElkinConfig::default()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator, bench_generators, bench_sequential_mst, bench_end_to_end
+}
+criterion_main!(benches);

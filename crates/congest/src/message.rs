@@ -1,0 +1,69 @@
+//! The [`Message`] trait: what node programs exchange.
+
+/// A message exchanged between neighboring nodes.
+///
+/// Implementors declare their size in *words* — one word is one
+/// `O(log n)`-bit quantity (a vertex identity, an edge weight, a small
+/// counter). The simulator charges `words()` against the per-edge,
+/// per-direction, per-round bandwidth budget (see
+/// [`RunConfig`](crate::RunConfig)), and aggregates statistics per
+/// [`tag`](Message::tag).
+///
+/// ```
+/// use congest_sim::Message;
+///
+/// #[derive(Clone, Debug)]
+/// enum Proto {
+///     Ping,
+///     Report { weight: u64, endpoint: usize },
+/// }
+///
+/// impl Message for Proto {
+///     fn words(&self) -> u32 {
+///         match self {
+///             Proto::Ping => 1,
+///             Proto::Report { .. } => 2,
+///         }
+///     }
+///     fn tag(&self) -> &'static str {
+///         match self {
+///             Proto::Ping => "ping",
+///             Proto::Report { .. } => "report",
+///         }
+///     }
+/// }
+/// assert_eq!(Proto::Ping.words(), 1);
+/// ```
+pub trait Message: Clone {
+    /// Size of this message in words (`O(log n)`-bit units). Must be at
+    /// least 1; the simulator treats a message reporting 0 words as 1.
+    fn words(&self) -> u32 {
+        1
+    }
+
+    /// A short static label used to aggregate statistics by message kind
+    /// (e.g. `"bfs"`, `"mwoe"`). Purely observational.
+    fn tag(&self) -> &'static str {
+        "msg"
+    }
+}
+
+impl Message for () {}
+impl Message for u64 {}
+impl Message for (u64, u64) {
+    fn words(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_words_and_tag() {
+        assert_eq!(().words(), 1);
+        assert_eq!(().tag(), "msg");
+        assert_eq!((3u64, 4u64).words(), 2);
+    }
+}

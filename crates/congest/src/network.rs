@@ -1,0 +1,409 @@
+//! The round-driven network executor.
+
+use crate::config::{CapacityMode, RunConfig};
+use crate::error::SimError;
+use crate::message::Message;
+use crate::stats::{RunStats, TagStats};
+use crate::topology::{NodeId, Port, PortId, Topology};
+
+/// What a node is told at construction time: its identity and its local
+/// ports (incident edges with weights). This is the *clean network model*:
+/// neighbor identities are not included; protocols learn them by talking.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeInfo<'a> {
+    /// This node's identity.
+    pub id: NodeId,
+    /// This node's incident ports (neighbor field is for instrumentation
+    /// only; see [`Port`]).
+    pub ports: &'a [Port],
+}
+
+/// A per-node protocol state machine.
+///
+/// The simulator calls [`on_round`](NodeProgram::on_round) for every node in
+/// every round, passing the messages that arrived at the start of the round.
+/// Messages sent during a round are delivered at the start of the next round
+/// (synchronous CONGEST semantics).
+pub trait NodeProgram {
+    /// The protocol's message type.
+    type Msg: Message;
+
+    /// Executes one synchronous round: read [`RoundCtx::inbox`], update local
+    /// state, and [`RoundCtx::send`] messages for next-round delivery.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>);
+
+    /// Local termination flag. The simulation halts when every node reports
+    /// `true` *and* no messages are in flight. A node may be reawakened by a
+    /// later message even after reporting done.
+    fn is_done(&self) -> bool;
+}
+
+/// Per-round execution context handed to [`NodeProgram::on_round`].
+#[derive(Debug)]
+pub struct RoundCtx<'a, M: Message> {
+    round: u64,
+    id: NodeId,
+    ports: &'a [Port],
+    inbox: &'a [(PortId, M)],
+    outbox: &'a mut Vec<(PortId, M)>,
+}
+
+impl<'a, M: Message> RoundCtx<'a, M> {
+    /// The current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's identity.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of incident ports (the node's degree).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Weight of the edge behind port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn weight(&self, p: PortId) -> u64 {
+        self.ports[p].weight
+    }
+
+    /// Messages that arrived this round, as `(port, message)` pairs in
+    /// deterministic order (by sender processing order of the previous
+    /// round).
+    #[inline]
+    pub fn inbox(&self) -> &[(PortId, M)] {
+        self.inbox
+    }
+
+    /// Sends `msg` over port `p`, to be delivered next round. Bandwidth
+    /// accounting happens at the network level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn send(&mut self, p: PortId, msg: M) {
+        assert!(p < self.ports.len(), "send on nonexistent port {p}");
+        self.outbox.push((p, msg));
+    }
+}
+
+/// A network of nodes executing a [`NodeProgram`] over a [`Topology`].
+#[derive(Debug)]
+pub struct Network<P: NodeProgram> {
+    topo: Topology,
+    nodes: Vec<P>,
+}
+
+impl<P: NodeProgram> Network<P> {
+    /// Instantiates one program per node via `factory`, called in node-id
+    /// order with that node's [`NodeInfo`].
+    pub fn new<F>(topo: Topology, mut factory: F) -> Self
+    where
+        F: FnMut(NodeInfo<'_>) -> P,
+    {
+        let nodes = (0..topo.num_nodes())
+            .map(|id| factory(NodeInfo { id, ports: topo.ports(id) }))
+            .collect();
+        Self { topo, nodes }
+    }
+
+    /// The topology this network runs on.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Read access to all node programs (e.g. to extract final states).
+    #[inline]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the network, returning the node programs.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// Runs rounds until quiescence (every node done, no messages in
+    /// flight) or an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::CapacityExceeded`] under [`CapacityMode::Strict`] when a
+    ///   round oversubscribes an edge direction.
+    /// * [`SimError::MaxRoundsExceeded`] when `config.max_rounds` is hit.
+    pub fn run(&mut self, config: &RunConfig) -> Result<RunStats, SimError> {
+        let n = self.topo.num_nodes();
+        let capacity = config.capacity_words();
+        let mut stats = RunStats::default();
+
+        // Double-buffered inboxes; `touched` lists nodes whose next-round
+        // inbox is non-empty and `delivered` those whose current inbox is,
+        // so per-round bookkeeping stays proportional to traffic.
+        let mut inboxes: Vec<Vec<(PortId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next_inboxes: Vec<Vec<(PortId, P::Msg)>> = vec![Vec::new(); n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut delivered: Vec<NodeId> = Vec::new();
+        let mut inflight: u64 = 0;
+
+        // Per directed edge (2 per undirected edge): words sent in the round
+        // stamped alongside, so no per-round reset is needed.
+        let mut edge_words: Vec<(u64, u64)> = vec![(u64::MAX, 0); 2 * self.topo.num_edges()];
+
+        let mut outbox: Vec<(PortId, P::Msg)> = Vec::new();
+        let mut round: u64 = 0;
+
+        loop {
+            if inflight == 0 && self.nodes.iter().all(|p| p.is_done()) {
+                stats.rounds = round;
+                return Ok(stats);
+            }
+            if round >= config.max_rounds {
+                return Err(SimError::MaxRoundsExceeded {
+                    max_rounds: config.max_rounds,
+                    pending_nodes: self.nodes.iter().filter(|p| !p.is_done()).count(),
+                });
+            }
+
+            let mut round_messages: u64 = 0;
+            inflight = 0;
+            #[allow(clippy::needless_range_loop)] // v indexes nodes, ports, and inboxes alike
+            for v in 0..n {
+                outbox.clear();
+                let mut ctx = RoundCtx {
+                    round,
+                    id: v,
+                    ports: self.topo.ports(v),
+                    inbox: &inboxes[v],
+                    outbox: &mut outbox,
+                };
+                self.nodes[v].on_round(&mut ctx);
+
+                for (p, msg) in outbox.drain(..) {
+                    let port = self.topo.ports(v)[p];
+                    let words = u64::from(msg.words().max(1));
+
+                    // Directed-edge bandwidth accounting.
+                    let dir = usize::from(self.topo.edges()[port.edge].0 != v);
+                    let slot = &mut edge_words[2 * port.edge + dir];
+                    if slot.0 != round {
+                        *slot = (round, 0);
+                    }
+                    slot.1 += words;
+                    if slot.1 > capacity && config.capacity == CapacityMode::Strict {
+                        return Err(SimError::CapacityExceeded {
+                            round,
+                            from: v,
+                            to: port.neighbor,
+                            words: slot.1,
+                            capacity,
+                        });
+                    }
+                    stats.peak_edge_words = stats.peak_edge_words.max(slot.1);
+
+                    let entry = stats.by_tag.entry(msg.tag()).or_insert_with(TagStats::default);
+                    entry.messages += 1;
+                    entry.words += words;
+                    stats.messages += 1;
+                    stats.words += words;
+                    round_messages += 1;
+                    inflight += 1;
+
+                    let back = self.topo.reverse_port(v, p);
+                    if next_inboxes[port.neighbor].is_empty() {
+                        touched.push(port.neighbor);
+                    }
+                    next_inboxes[port.neighbor].push((back, msg));
+                }
+            }
+
+            stats.peak_round_messages = stats.peak_round_messages.max(round_messages);
+
+            // Consume this round's inboxes, then promote the messages just
+            // sent to become next round's input.
+            for &v in &delivered {
+                inboxes[v].clear();
+            }
+            delivered.clear();
+            for &v in &touched {
+                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
+                delivered.push(v);
+            }
+            touched.clear();
+
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CapacityMode, RunConfig};
+
+    /// Counts rounds until it has seen `wait_for` messages, echoing each.
+    struct Echo {
+        to_send: u32,
+        seen: u32,
+        wait_for: u32,
+    }
+
+    impl NodeProgram for Echo {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, u64>) {
+            for _ in 0..self.to_send {
+                ctx.send(0, 42);
+            }
+            self.to_send = 0;
+            self.seen += ctx.inbox().len() as u32;
+        }
+        fn is_done(&self) -> bool {
+            self.seen >= self.wait_for
+        }
+    }
+
+    fn pair() -> Topology {
+        Topology::new(2, &[(0, 1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn delivers_next_round_and_counts() {
+        let mut net = Network::new(pair(), |i| Echo {
+            to_send: u32::from(i.id == 0),
+            seen: 0,
+            wait_for: u32::from(i.id == 1),
+        });
+        let stats = net.run(&RunConfig::congest()).unwrap();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.words, 1);
+        // Round 0: node 0 sends. Round 1: node 1 receives; quiescent after.
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(net.nodes()[1].seen, 1);
+    }
+
+    #[test]
+    fn strict_capacity_rejects_oversend() {
+        // b = 1 with 8 words/unit allows 8 one-word messages; send 9.
+        let mut net = Network::new(pair(), |i| Echo {
+            to_send: if i.id == 0 { 9 } else { 0 },
+            seen: 0,
+            wait_for: u32::from(i.id == 1),
+        });
+        let err = net.run(&RunConfig::congest()).unwrap_err();
+        assert!(matches!(err, SimError::CapacityExceeded { round: 0, from: 0, to: 1, .. }));
+    }
+
+    #[test]
+    fn unchecked_capacity_allows_oversend() {
+        let mut net = Network::new(pair(), |i| Echo {
+            to_send: if i.id == 0 { 9 } else { 0 },
+            seen: 0,
+            wait_for: if i.id == 1 { 9 } else { 0 },
+        });
+        let cfg = RunConfig { capacity: CapacityMode::Unchecked, ..RunConfig::congest() };
+        let stats = net.run(&cfg).unwrap();
+        assert_eq!(stats.messages, 9);
+        assert_eq!(stats.peak_edge_words, 9);
+    }
+
+    #[test]
+    fn higher_bandwidth_admits_more() {
+        let mut net = Network::new(pair(), |i| Echo {
+            to_send: if i.id == 0 { 9 } else { 0 },
+            seen: 0,
+            wait_for: if i.id == 1 { 9 } else { 0 },
+        });
+        let stats = net.run(&RunConfig::congest_b(2)).unwrap();
+        assert_eq!(stats.messages, 9);
+    }
+
+    #[test]
+    fn nonterminating_protocol_hits_round_cap() {
+        struct Spin;
+        impl NodeProgram for Spin {
+            type Msg = ();
+            fn on_round(&mut self, _: &mut RoundCtx<'_, ()>) {}
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let mut net = Network::new(pair(), |_| Spin);
+        let cfg = RunConfig { max_rounds: 10, ..RunConfig::congest() };
+        assert!(matches!(
+            net.run(&cfg),
+            Err(SimError::MaxRoundsExceeded { max_rounds: 10, pending_nodes: 2 })
+        ));
+    }
+
+    #[test]
+    fn immediate_quiescence_is_zero_rounds() {
+        struct Done;
+        impl NodeProgram for Done {
+            type Msg = ();
+            fn on_round(&mut self, _: &mut RoundCtx<'_, ()>) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let mut net = Network::new(pair(), |_| Done);
+        let stats = net.run(&RunConfig::congest()).unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let topo = Topology::new(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)]).unwrap();
+            let mut net = Network::new(topo, |i| Echo {
+                to_send: if i.id == 0 { 2 } else { 0 },
+                seen: 0,
+                wait_for: u32::from(i.id == 1) * 2,
+            });
+            net.run(&RunConfig::congest()).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn messages_arrive_with_correct_reverse_port() {
+        /// Node 1 records the port a message arrives on.
+        struct PortCheck {
+            got: Option<PortId>,
+            fire: bool,
+        }
+        impl NodeProgram for PortCheck {
+            type Msg = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) {
+                if self.fire {
+                    self.fire = false;
+                    ctx.send(0, ());
+                }
+                if let Some(&(p, _)) = ctx.inbox().first() {
+                    self.got = Some(p);
+                }
+            }
+            fn is_done(&self) -> bool {
+                !self.fire
+            }
+        }
+        // Node 2's ports: port 0 -> 0 (edge 1), port 1 -> 1 (edge 2).
+        let topo = Topology::new(3, &[(0, 1, 1), (0, 2, 1), (1, 2, 1)]).unwrap();
+        let mut net = Network::new(topo, |i| PortCheck { got: None, fire: i.id == 1 });
+        // Node 1 sends on its port 0, which is edge (0,1) -> node 0 hears on
+        // its own port 0.
+        net.run(&RunConfig::congest()).unwrap();
+        assert_eq!(net.nodes()[0].got, Some(0));
+    }
+}

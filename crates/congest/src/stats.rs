@@ -1,0 +1,65 @@
+//! Run statistics: the quantities the paper's theorems bound.
+
+use std::collections::BTreeMap;
+
+/// Message/word counts for one message tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Number of messages with this tag.
+    pub messages: u64,
+    /// Total words across those messages.
+    pub words: u64,
+}
+
+/// Aggregate statistics of one simulation run.
+///
+/// `rounds` and `messages` are the two quantities Elkin's theorems bound
+/// (`O((D + sqrt(n)) log n)` and `O(m log n + n log n log* n)` respectively
+/// for the main algorithm); the rest is diagnostic detail.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of synchronous rounds until global quiescence (all nodes done
+    /// and no messages in flight).
+    pub rounds: u64,
+    /// Total messages delivered over the whole run.
+    pub messages: u64,
+    /// Total words across all messages.
+    pub words: u64,
+    /// Largest number of messages delivered in any single round.
+    pub peak_round_messages: u64,
+    /// Largest number of words sent over a single edge direction in a single
+    /// round (never exceeds the budget under strict capacity).
+    pub peak_edge_words: u64,
+    /// Per-tag breakdown, ordered by tag for stable output.
+    pub by_tag: BTreeMap<&'static str, TagStats>,
+}
+
+impl RunStats {
+    /// Messages carrying the given tag (0 if the tag never appeared).
+    pub fn messages_with_tag(&self, tag: &str) -> u64 {
+        self.by_tag.get(tag).map_or(0, |t| t.messages)
+    }
+
+    /// Renders the per-tag breakdown as an aligned table, one tag per line.
+    pub fn tag_table(&self) -> String {
+        let mut out = String::new();
+        for (tag, t) in &self.by_tag {
+            out.push_str(&format!("{tag:<24} {:>12} msgs {:>14} words\n", t.messages, t.words));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_accessors() {
+        let mut s = RunStats::default();
+        s.by_tag.insert("bfs", TagStats { messages: 7, words: 7 });
+        assert_eq!(s.messages_with_tag("bfs"), 7);
+        assert_eq!(s.messages_with_tag("nope"), 0);
+        assert!(s.tag_table().contains("bfs"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Static communication topology: the weighted graph the nodes live on.
+
+use crate::error::SimError;
+
+/// Identifier of a node (vertex) in the network, `0..n`.
+pub type NodeId = usize;
+
+/// Identifier of an undirected edge, `0..m`, in input order.
+pub type EdgeId = usize;
+
+/// Local port index at a node: position in that node's adjacency list.
+///
+/// Node programs address neighbors exclusively through ports; a node does not
+/// a-priori know the identity of the neighbor behind a port (the *clean
+/// network model* of the paper: initially a vertex knows only its own
+/// identity and the weights of its incident edges).
+pub type PortId = usize;
+
+/// One entry of a node's adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// The node on the other side of this port. Exposed for *instrumentation
+    /// and assembly* (the runner reading final states); faithful protocols
+    /// learn neighbor identities by exchanging messages.
+    pub neighbor: NodeId,
+    /// Undirected edge identifier shared by both endpoints.
+    pub edge: EdgeId,
+    /// Weight of the incident edge (known locally, as in the weighted
+    /// CONGEST model).
+    pub weight: u64,
+}
+
+/// An immutable, validated communication graph.
+///
+/// Construction rejects self-loops, parallel edges, and out-of-range
+/// endpoints; connectivity is *not* required (some protocols are exercised on
+/// forests), but [`Topology::is_connected`] is provided for callers that need
+/// the check.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, u64)>,
+    ports: Vec<Vec<Port>>,
+    /// `reverse[v][p]` = the port index at `ports[v][p].neighbor` that leads
+    /// back to `v` over the same edge. Precomputed so message delivery is
+    /// O(1) per message.
+    reverse: Vec<Vec<PortId>>,
+}
+
+impl Topology {
+    /// Builds a topology on `n` nodes from an undirected weighted edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTopology`] on self-loops, duplicate edges
+    /// (in either orientation), or endpoints `>= n`.
+    pub fn new(n: usize, edges: &[(NodeId, NodeId, u64)]) -> Result<Self, SimError> {
+        let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for (eid, &(u, v, w)) in edges.iter().enumerate() {
+            if u >= n || v >= n {
+                return Err(SimError::InvalidTopology(format!(
+                    "edge {eid} = ({u}, {v}) has an endpoint out of range (n = {n})"
+                )));
+            }
+            if u == v {
+                return Err(SimError::InvalidTopology(format!(
+                    "edge {eid} = ({u}, {v}) is a self-loop"
+                )));
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(SimError::InvalidTopology(format!(
+                    "edge {eid} = ({u}, {v}) duplicates an earlier edge"
+                )));
+            }
+            ports[u].push(Port { neighbor: v, edge: eid, weight: w });
+            ports[v].push(Port { neighbor: u, edge: eid, weight: w });
+        }
+        // reverse[v][p]: find the port at the neighbor with the same edge id.
+        let mut reverse: Vec<Vec<PortId>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut rv = Vec::with_capacity(ports[v].len());
+            for port in &ports[v] {
+                let back = ports[port.neighbor]
+                    .iter()
+                    .position(|q| q.edge == port.edge)
+                    .expect("edge stored at both endpoints");
+                rv.push(back);
+            }
+            reverse.push(rv);
+        }
+        Ok(Self { n, edges: edges.to_vec(), ports, reverse })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The adjacency list (ports) of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn ports(&self, v: NodeId) -> &[Port] {
+        &self.ports[v]
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.ports[v].len()
+    }
+
+    /// The original edge list `(u, v, w)` in input order.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId, u64)] {
+        &self.edges
+    }
+
+    /// The port at `ports(v)[p].neighbor` leading back to `v`.
+    #[inline]
+    pub(crate) fn reverse_port(&self, v: NodeId, p: PortId) -> PortId {
+        self.reverse[v][p]
+    }
+
+    /// Whether the graph is connected (every pair of nodes joined by a path).
+    /// An empty graph and a single-node graph are connected.
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for port in &self.ports[v] {
+                if !seen[port.neighbor] {
+                    seen[port.neighbor] = true;
+                    count += 1;
+                    stack.push(port.neighbor);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_ports_and_reverse() {
+        let t = Topology::new(3, &[(0, 1, 5), (1, 2, 7)]).unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.ports(0)[0], Port { neighbor: 1, edge: 0, weight: 5 });
+        // reverse port round-trips
+        for v in 0..3 {
+            for (p, port) in t.ports(v).iter().enumerate() {
+                let back = t.reverse_port(v, p);
+                assert_eq!(t.ports(port.neighbor)[back].neighbor, v);
+                assert_eq!(t.ports(port.neighbor)[back].edge, port.edge);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(matches!(
+            Topology::new(2, &[(1, 1, 1)]),
+            Err(SimError::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_either_orientation() {
+        assert!(Topology::new(2, &[(0, 1, 1), (1, 0, 2)]).is_err());
+        assert!(Topology::new(2, &[(0, 1, 1), (0, 1, 2)]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Topology::new(2, &[(0, 2, 1)]).is_err());
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Topology::new(1, &[]).unwrap().is_connected());
+        assert!(Topology::new(3, &[(0, 1, 1), (1, 2, 1)]).unwrap().is_connected());
+        assert!(!Topology::new(3, &[(0, 1, 1)]).unwrap().is_connected());
+        assert!(!Topology::new(2, &[]).unwrap().is_connected());
+    }
+}

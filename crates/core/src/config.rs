@@ -1,0 +1,82 @@
+//! Run configuration for the distributed MST algorithm.
+
+use crate::schedule::MergeControl;
+
+/// Configuration of one algorithm execution.
+///
+/// The defaults reproduce the paper's Theorem 3.1 setting: standard CONGEST
+/// (`b = 1`), automatic `k = max(sqrt(n/b), H)`, matched merging, BFS root at
+/// vertex 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElkinConfig {
+    /// The `b` of `CONGEST(b log n)` (Theorem 3.2). Must be positive.
+    pub bandwidth: u32,
+    /// Override the base-forest parameter `k` (experiments F5/A3 sweep it);
+    /// `None` selects the paper's choice via
+    /// [`choose_k`](crate::schedule::choose_k). `k = 1` skips Controlled-GHS
+    /// entirely (singleton base forest).
+    pub k_override: Option<u64>,
+    /// The designated BFS root (see DESIGN.md on the leader-election
+    /// assumption).
+    pub root: usize,
+    /// Merge policy of the Controlled-GHS stage (ablation A1 sets
+    /// [`MergeControl::Uncontrolled`]).
+    pub merge_control: MergeControl,
+    /// Stop after Stage B, leaving the `(O(n/k), O(k))` base forest as the
+    /// output (Theorem 4.3 standalone; used by
+    /// [`run_forest`](crate::run_forest)).
+    pub stop_after_forest: bool,
+}
+
+impl Default for ElkinConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth: 1,
+            k_override: None,
+            root: 0,
+            merge_control: MergeControl::Matched,
+            stop_after_forest: false,
+        }
+    }
+}
+
+impl ElkinConfig {
+    /// Paper defaults (Theorem 3.1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `CONGEST(b log n)` variant (Theorem 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn with_bandwidth(b: u32) -> Self {
+        assert!(b > 0, "bandwidth must be positive");
+        Self { bandwidth: b, ..Self::default() }
+    }
+
+    /// Fixes the base-forest parameter `k`.
+    pub fn with_k(k: u64) -> Self {
+        Self { k_override: Some(k.max(1)), ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ElkinConfig::new();
+        assert_eq!(c.bandwidth, 1);
+        assert_eq!(c.k_override, None);
+        assert_eq!(c.merge_control, MergeControl::Matched);
+    }
+
+    #[test]
+    fn builders() {
+        assert_eq!(ElkinConfig::with_bandwidth(4).bandwidth, 4);
+        assert_eq!(ElkinConfig::with_k(0).k_override, Some(1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline analysis of a Controlled-GHS base forest: the invariants of the
+//! paper's Theorem 4.3 and Lemmas 4.1/4.2.
+
+use std::collections::HashMap;
+
+use dmst_graphs::{mst, WeightedGraph};
+
+use crate::runner::ForestRun;
+
+/// Measured properties of a base MST forest, checked against the paper's
+/// guarantees by [`analyze_forest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForestReport {
+    /// Number of fragments.
+    pub num_fragments: usize,
+    /// Largest fragment strong diameter (hops within the fragment tree).
+    pub max_diameter: u64,
+    /// Smallest fragment size in vertices.
+    pub min_size: usize,
+    /// Total fragment-tree edges (each is an MST edge).
+    pub tree_edges: usize,
+}
+
+/// Validates a [`ForestRun`] against graph `g` and reports its shape.
+///
+/// Checks performed (failures panic with a diagnostic — these are algorithm
+/// invariants, not input conditions):
+///
+/// * parent pointers form forests consistent with `fragment_of`;
+/// * every fragment is connected and has exactly one root;
+/// * every fragment-tree edge belongs to the canonical MST of `g`
+///   (fragments are *MST fragments*, §2 of the paper).
+///
+/// # Panics
+///
+/// Panics if any invariant fails.
+pub fn analyze_forest(g: &WeightedGraph, run: &ForestRun) -> ForestReport {
+    let n = g.num_nodes();
+    assert_eq!(run.fragment_of.len(), n);
+    assert_eq!(run.parent_of.len(), n);
+
+    // The canonical MST as an edge-endpoint set.
+    let truth = mst::kruskal(g);
+    let mut mst_pairs = std::collections::HashSet::new();
+    for &e in &truth.edges {
+        let (u, v) = g.endpoints(e);
+        mst_pairs.insert((u.min(v), u.max(v)));
+    }
+
+    // Fragment membership and tree edges.
+    let mut members: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (v, &f) in run.fragment_of.iter().enumerate() {
+        members.entry(f).or_default().push(v);
+    }
+    let mut tree_edges = 0;
+    for (v, parent) in run.parent_of.iter().enumerate() {
+        match parent {
+            None => {
+                // Fragment roots carry their own id.
+                assert_eq!(
+                    run.fragment_of[v], v as u64,
+                    "rootless vertex {v} does not own its fragment id"
+                );
+            }
+            Some(p) => {
+                assert_eq!(
+                    run.fragment_of[v], run.fragment_of[*p],
+                    "tree edge ({v}, {p}) crosses fragments"
+                );
+                assert!(
+                    mst_pairs.contains(&(v.min(*p), v.max(*p))),
+                    "fragment tree edge ({v}, {p}) is not an MST edge"
+                );
+                tree_edges += 1;
+            }
+        }
+    }
+
+    // Per-fragment connectivity + diameter via BFS over tree adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, parent) in run.parent_of.iter().enumerate() {
+        if let Some(p) = parent {
+            adj[v].push(*p);
+            adj[*p].push(v);
+        }
+    }
+    let mut max_diameter = 0u64;
+    let mut min_size = usize::MAX;
+    for (f, verts) in &members {
+        min_size = min_size.min(verts.len());
+        let root = *f as usize;
+        assert!(verts.contains(&root), "fragment {f} does not contain its root");
+        // Double sweep on a tree gives the exact diameter.
+        let (far, _) = bfs_far(&adj, root, verts.len());
+        let (_, diam) = bfs_far(&adj, far, verts.len());
+        max_diameter = max_diameter.max(diam);
+    }
+    if n == 0 {
+        min_size = 0;
+    }
+
+    ForestReport { num_fragments: members.len(), max_diameter, min_size, tree_edges }
+}
+
+/// BFS within one fragment's tree adjacency; returns the farthest vertex and
+/// its distance. `cap` bounds the traversal for safety.
+fn bfs_far(adj: &[Vec<usize>], src: usize, cap: usize) -> (usize, u64) {
+    let mut dist: HashMap<usize, u64> = HashMap::with_capacity(cap);
+    dist.insert(src, 0);
+    let mut queue = std::collections::VecDeque::from([src]);
+    let (mut far, mut fd) = (src, 0);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d > fd {
+            far = v;
+            fd = d;
+        }
+        for &u in &adj[v] {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                e.insert(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    (far, fd)
+}

@@ -1,0 +1,165 @@
+//! The BFS root's local fragment-graph computation (paper §3).
+//!
+//! Each Borůvka phase, the root `rt` holds the best candidate edge per
+//! coarse fragment and must (a) merge fragments along their MWOEs, (b)
+//! decide which candidate edges become MST edges, (c) assign each component
+//! a fresh coarse id, and (d) detect global termination. This module is the
+//! *pure* version of that computation, extracted so it can be unit-tested
+//! independently of the message machinery in `node::stage_cd`.
+
+use std::collections::{HashMap, HashSet};
+
+use dmst_graphs::UnionFind;
+
+use crate::candidate::Candidate;
+
+/// Outcome of one root-local Borůvka merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// New coarse id for every old coarse id (new id = minimum old id in
+    /// the merged component).
+    pub new_id: HashMap<u64, u64>,
+    /// Slots (base-fragment addresses) whose candidate edge was chosen as
+    /// an MST edge this phase.
+    pub chosen_slots: HashSet<u64>,
+    /// Whether a single coarse fragment remains (global termination).
+    pub done: bool,
+}
+
+/// Merges the fragment graph: `coarse_ids` are the current coarse ids,
+/// `best` maps a coarse id to its minimum-weight outgoing candidate.
+///
+/// Properties (unit-tested below):
+///
+/// * every component's new id is the minimum old id it contains;
+/// * exactly `#old - #new` candidates are chosen (the merge edges form a
+///   forest over the coarse ids — mutual-MWOE duplicates are skipped);
+/// * `done` iff one component remains.
+///
+/// # Panics
+///
+/// Panics if a candidate references a coarse id not in `coarse_ids`.
+pub fn merge_fragment_graph(
+    coarse_ids: &[u64],
+    best: &HashMap<u64, Candidate>,
+) -> MergeOutcome {
+    let mut ids: Vec<u64> = coarse_ids.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let index: HashMap<u64, usize> = ids.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut uf = UnionFind::new(ids.len());
+
+    let mut chosen_slots = HashSet::new();
+    for &c in &ids {
+        if let Some(rec) = best.get(&c) {
+            let a = index[&c];
+            let b = *index
+                .get(&rec.dst_coarse)
+                .unwrap_or_else(|| panic!("candidate points at unknown coarse id {}", rec.dst_coarse));
+            // With unique tie-broken keys, the MWOE edge set is acyclic
+            // except for mutual pairs, which reference the same physical
+            // edge; the union check drops the duplicate.
+            if uf.union(a, b) {
+                chosen_slots.insert(rec.src_slot);
+            }
+        }
+    }
+
+    let mut rep_min: Vec<u64> = vec![u64::MAX; ids.len()];
+    for (i, &c) in ids.iter().enumerate() {
+        let r = uf.find(i);
+        rep_min[r] = rep_min[r].min(c);
+    }
+    let new_id: HashMap<u64, u64> =
+        ids.iter().enumerate().map(|(i, &c)| (c, rep_min[uf.find(i)])).collect();
+    let done = uf.num_sets() <= 1;
+
+    MergeOutcome { new_id, chosen_slots, done }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandKey;
+
+    fn cand(src: u64, dst: u64, w: u64, slot: u64) -> (u64, Candidate) {
+        (src, Candidate { key: CandKey::new(w, src, dst), src_coarse: src, dst_coarse: dst, src_slot: slot })
+    }
+
+    #[test]
+    fn chain_merges_to_one() {
+        // 0 -> 1 -> 2 -> 3, each via its own edge.
+        let ids = [0u64, 1, 2, 3];
+        let best: HashMap<u64, Candidate> =
+            [cand(0, 1, 5, 10), cand(1, 2, 3, 11), cand(2, 3, 4, 12), cand(3, 2, 4, 13)]
+                .into_iter()
+                .collect();
+        let out = merge_fragment_graph(&ids, &best);
+        assert!(out.done);
+        assert!(ids.iter().all(|c| out.new_id[c] == 0));
+        // 3 -> 2 is the mutual twin of 2 -> 3 (same key): only one chosen.
+        assert_eq!(out.chosen_slots.len(), 3);
+        assert!(out.chosen_slots.contains(&10));
+        assert!(out.chosen_slots.contains(&11));
+        // Exactly one of the mutual pair's slots is chosen.
+        assert_eq!(
+            out.chosen_slots.contains(&12) as u32 + out.chosen_slots.contains(&13) as u32,
+            1
+        );
+    }
+
+    #[test]
+    fn two_components_not_done() {
+        let ids = [0u64, 1, 7, 9];
+        let best: HashMap<u64, Candidate> = [
+            cand(0, 1, 1, 20),
+            cand(1, 0, 1, 21), // mutual with the above
+            cand(7, 9, 2, 22),
+            cand(9, 7, 2, 23), // mutual
+        ]
+        .into_iter()
+        .collect();
+        let out = merge_fragment_graph(&ids, &best);
+        assert!(!out.done);
+        assert_eq!(out.new_id[&0], 0);
+        assert_eq!(out.new_id[&1], 0);
+        assert_eq!(out.new_id[&7], 7);
+        assert_eq!(out.new_id[&9], 7);
+        assert_eq!(out.chosen_slots.len(), 2);
+    }
+
+    #[test]
+    fn missing_candidates_leave_singletons() {
+        // Fragment 5 has no outgoing candidate (possible only when it is
+        // alone, but the pure function tolerates it).
+        let out = merge_fragment_graph(&[5], &HashMap::new());
+        assert!(out.done);
+        assert_eq!(out.new_id[&5], 5);
+        assert!(out.chosen_slots.is_empty());
+    }
+
+    #[test]
+    fn star_merge_picks_min_id() {
+        // 3, 8, 12 all point at 2.
+        let ids = [2u64, 3, 8, 12];
+        let best: HashMap<u64, Candidate> = [
+            cand(3, 2, 1, 30),
+            cand(8, 2, 2, 31),
+            cand(12, 2, 3, 32),
+            cand(2, 3, 1, 33), // mutual with 3 -> 2
+        ]
+        .into_iter()
+        .collect();
+        let out = merge_fragment_graph(&ids, &best);
+        assert!(out.done);
+        assert!(ids.iter().all(|c| out.new_id[c] == 2));
+        assert_eq!(out.chosen_slots.len(), 3, "three physical edges used");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown coarse id")]
+    fn foreign_destination_rejected() {
+        let best: HashMap<u64, Candidate> = [cand(0, 99, 1, 0)].into_iter().collect();
+        let _ = merge_fragment_graph(&[0], &best);
+    }
+}

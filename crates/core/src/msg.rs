@@ -1,0 +1,317 @@
+//! The wire protocol: every message Elkin's algorithm sends.
+//!
+//! Word counts follow the model of the paper's Section 2: one word is one
+//! `O(log n)`-bit quantity (vertex id, fragment id, edge weight, small
+//! counter). The largest message ([`Msg::Candidate`]) carries 6 words, under
+//! the 8-word unit-message budget enforced by the simulator.
+
+use congest_sim::Message;
+
+use crate::candidate::{CandKey, Candidate};
+
+/// Protocol messages, grouped by stage. The stage/phase a message belongs to
+/// is implicit in the (synchronized) round schedule for Stage B and in the
+/// explicit control flow for Stages A, C, D.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    // ---- Stage A: BFS tree, sizes, parameter broadcast ----
+    /// BFS wave from the root; receivers adopt the sender as parent.
+    Bfs,
+    /// "You are my BFS parent" — lets parents learn their child ports.
+    BfsChild,
+    /// Convergecast of `(subtree size, subtree height)` toward the BFS root.
+    SizeUp {
+        /// Number of vertices in the sender's BFS subtree.
+        size: u64,
+        /// Height of that subtree (max depth below the sender).
+        height: u64,
+    },
+    /// Root broadcast of the globally agreed parameters.
+    Params {
+        /// Number of vertices.
+        n: u64,
+        /// Height of the BFS tree (so `H <= D <= 2H`).
+        h: u64,
+        /// Base-forest parameter `k` (paper §3: `sqrt(n/b)` or `H`).
+        k: u64,
+        /// Absolute round at which Stage B begins.
+        t0: u64,
+    },
+
+    // ---- Stage B: Controlled-GHS (paper §4) ----
+    /// Per-phase refresh of `(fragment id, sender id)` to all neighbors.
+    FragAnnounce {
+        /// Sender's current fragment id.
+        frag: u64,
+        /// Sender's vertex id (teaches neighbors our identity — clean model).
+        me: u64,
+    },
+    /// Depth-budgeted broadcast from the fragment root; participation test.
+    Probe {
+        /// Remaining hops the probe may still descend.
+        ttl: u32,
+    },
+    /// Convergecast response to [`Msg::Probe`].
+    MwoeUp {
+        /// Best outgoing-edge candidate key in the subtree, if any.
+        cand: Option<CandKey>,
+        /// Whether the subtree extends beyond the probe's depth budget
+        /// (fragment too tall to participate this phase).
+        overflow: bool,
+    },
+    /// Root tells its (participating) fragment that the phase is on.
+    Participate,
+    /// Downcast along the argmin path toward the MWOE endpoint.
+    MwoePath,
+    /// Sent across the MWOE to the foreign endpoint, registering the sender's
+    /// fragment as a "foreign child" (paper §4).
+    ConnectReq {
+        /// The child fragment's id.
+        child_frag: u64,
+    },
+    /// Convergecast: does any vertex of this fragment host a foreign child?
+    KidsUp {
+        /// OR-aggregate over the subtree.
+        has: bool,
+    },
+    /// Fragment-internal broadcast of the fragment's current CV color.
+    ColorDown {
+        /// The color.
+        color: u64,
+    },
+    /// Color forwarded across a cross edge to a foreign child's endpoint.
+    ColorCross {
+        /// Parent fragment's color.
+        color: u64,
+    },
+    /// Color routed up from the MWOE endpoint to the fragment root.
+    ColorUp {
+        /// Parent fragment's color.
+        color: u64,
+    },
+    /// Matching convergecast: smallest unmatched foreign-child fragment id.
+    UnmatchedUp {
+        /// Argmin over the subtree, if any unmatched child exists.
+        child: Option<u64>,
+    },
+    /// Downcast along the argmin path toward the chosen child's cross edge.
+    AcceptPath,
+    /// Acceptance sent across the cross edge: "your fragment is matched".
+    AcceptCross {
+        /// The accepting (parent) fragment's id.
+        parent_frag: u64,
+    },
+    /// The child fragment routes the acceptance up to its root.
+    MatchedUp {
+        /// The partner (parent) fragment's id.
+        partner: u64,
+    },
+    /// Fragment-internal broadcast: "we are matched".
+    StatusDown,
+    /// Matched-status notification over a cross edge (to foreign children
+    /// and to the fragment's own MWOE parent).
+    StatusCross,
+    /// Downcast along the argmin path: unmatched fragment merges via MWOE.
+    MergePath,
+    /// Merge request across the MWOE; the receiver's side absorbs the sender.
+    MergeCross,
+    /// Flood establishing the merged fragment: new id + re-orientation.
+    NewFrag {
+        /// Id of the merged fragment (its new root's vertex id).
+        id: u64,
+    },
+
+    // ---- Stage C: intervals and fragment registration (paper §3) ----
+    /// Parent assigns a child its interval `[start, start + size)`.
+    Interval {
+        /// First slot of the child's interval (the child's own slot).
+        start: u64,
+        /// Interval length (the child's BFS subtree size).
+        size: u64,
+    },
+    /// Base-fragment root registers `(its slot)` with the BFS root;
+    /// pipelined up the BFS tree.
+    Register {
+        /// Slot of the registering fragment root.
+        slot: u64,
+        /// Height of the base fragment (diagnostics for the BFS root).
+        height: u64,
+    },
+    /// Pipeline completion marker for the registration upcast.
+    RegDone,
+    /// Base-fragment root tells its vertices their initial coarse id.
+    InitCoarse {
+        /// Initial coarse fragment id (the root's slot).
+        id: u64,
+    },
+
+    // ---- Stage D: Boruvka on top of the base forest (paper §3) ----
+    /// Root broadcast opening phase `j`.
+    StartPhase {
+        /// Phase index.
+        j: u64,
+    },
+    /// Per-phase refresh of `(coarse id, sender id)` to all neighbors.
+    CoarseAnnounce {
+        /// Sender's current coarse fragment id.
+        coarse: u64,
+        /// Sender's vertex id.
+        me: u64,
+    },
+    /// Barrier convergecast: my subtree finished announcing/receiving.
+    AnnDone,
+    /// Root broadcast: announce barrier passed, fragment MWOE search may go.
+    MwoeGo,
+    /// Base-fragment-internal broadcast starting the MWOE search.
+    FragProbe,
+    /// Base-fragment convergecast of the best candidate w.r.t. the coarse
+    /// partition.
+    FragMwoeUp {
+        /// Best candidate in the subtree (key + coarse ids), if any.
+        cand: Option<(CandKey, u64, u64)>,
+    },
+    /// A candidate record in the pipelined, filtered upcast to the BFS root.
+    Candidate {
+        /// The record.
+        rec: Candidate,
+    },
+    /// Pipeline completion marker for the candidate upcast.
+    UpDone,
+    /// Interval-routed answer to one base fragment (pipelined downcast).
+    Assign {
+        /// Destination slot (the base fragment root's interval start).
+        dest_slot: u64,
+        /// The base fragment's new coarse id.
+        new_coarse: u64,
+        /// Whether this base fragment's candidate was chosen as an MST edge.
+        chosen: bool,
+        /// Whether the algorithm is globally finished after this phase.
+        done: bool,
+    },
+    /// Base-fragment-internal broadcast of the new coarse id (+ done flag).
+    NewCoarse {
+        /// New coarse id.
+        id: u64,
+        /// Global termination flag.
+        done: bool,
+    },
+    /// Downcast along the remembered argmin path: mark the candidate edge.
+    MarkPath,
+    /// Marks the far endpoint of a chosen MST edge across the edge itself.
+    MarkCross,
+    /// Barrier convergecast: my subtree finished phase `j` housekeeping.
+    PhaseDone,
+}
+
+impl Message for Msg {
+    fn words(&self) -> u32 {
+        match self {
+            Msg::Bfs
+            | Msg::BfsChild
+            | Msg::Participate
+            | Msg::MwoePath
+            | Msg::AcceptPath
+            | Msg::StatusDown
+            | Msg::StatusCross
+            | Msg::MergePath
+            | Msg::MergeCross
+            | Msg::RegDone
+            | Msg::AnnDone
+            | Msg::MwoeGo
+            | Msg::FragProbe
+            | Msg::UpDone
+            | Msg::MarkPath
+            | Msg::MarkCross
+            | Msg::PhaseDone => 1,
+            Msg::Probe { .. }
+            | Msg::ConnectReq { .. }
+            | Msg::KidsUp { .. }
+            | Msg::ColorDown { .. }
+            | Msg::ColorCross { .. }
+            | Msg::ColorUp { .. }
+            | Msg::UnmatchedUp { .. }
+            | Msg::AcceptCross { .. }
+            | Msg::MatchedUp { .. }
+            | Msg::NewFrag { .. }
+            | Msg::InitCoarse { .. }
+            | Msg::StartPhase { .. } => 1,
+            Msg::SizeUp { .. }
+            | Msg::FragAnnounce { .. }
+            | Msg::Interval { .. }
+            | Msg::Register { .. }
+            | Msg::CoarseAnnounce { .. }
+            | Msg::NewCoarse { .. } => 2,
+            Msg::Assign { .. } => 3,
+            Msg::Params { .. } | Msg::MwoeUp { .. } => 4,
+            Msg::FragMwoeUp { .. } => 5,
+            Msg::Candidate { .. } => 6,
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            Msg::Bfs | Msg::BfsChild | Msg::SizeUp { .. } | Msg::Params { .. } => "a:bfs",
+            Msg::FragAnnounce { .. } => "b:announce",
+            Msg::Probe { .. } | Msg::MwoeUp { .. } => "b:mwoe",
+            Msg::Participate | Msg::MwoePath | Msg::ConnectReq { .. } | Msg::KidsUp { .. } => {
+                "b:connect"
+            }
+            Msg::ColorDown { .. } | Msg::ColorCross { .. } | Msg::ColorUp { .. } => "b:color",
+            Msg::UnmatchedUp { .. }
+            | Msg::AcceptPath
+            | Msg::AcceptCross { .. }
+            | Msg::MatchedUp { .. }
+            | Msg::StatusDown
+            | Msg::StatusCross => "b:match",
+            Msg::MergePath | Msg::MergeCross | Msg::NewFrag { .. } => "b:merge",
+            Msg::Interval { .. }
+            | Msg::Register { .. }
+            | Msg::RegDone
+            | Msg::InitCoarse { .. } => "c:intervals",
+            Msg::StartPhase { .. } | Msg::AnnDone | Msg::MwoeGo | Msg::PhaseDone => "d:control",
+            Msg::CoarseAnnounce { .. } => "d:announce",
+            Msg::FragProbe | Msg::FragMwoeUp { .. } => "d:fragmwoe",
+            Msg::Candidate { .. } | Msg::UpDone => "d:upcast",
+            Msg::Assign { .. } => "d:downcast",
+            Msg::NewCoarse { .. } | Msg::MarkPath | Msg::MarkCross => "d:newcoarse",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{CandKey, Candidate};
+
+    #[test]
+    fn all_messages_fit_one_unit() {
+        let rec = Candidate {
+            key: CandKey::new(1, 2, 3),
+            src_coarse: 4,
+            dst_coarse: 5,
+            src_slot: 6,
+        };
+        let samples = [
+            Msg::Bfs,
+            Msg::SizeUp { size: 1, height: 2 },
+            Msg::Params { n: 1, h: 2, k: 3, t0: 4 },
+            Msg::FragAnnounce { frag: 1, me: 2 },
+            Msg::MwoeUp { cand: Some(CandKey::new(1, 2, 3)), overflow: false },
+            Msg::FragMwoeUp { cand: Some((CandKey::new(1, 2, 3), 4, 5)) },
+            Msg::Candidate { rec },
+            Msg::Assign { dest_slot: 1, new_coarse: 2, chosen: true, done: false },
+        ];
+        for m in samples {
+            assert!(m.words() >= 1 && m.words() <= 8, "{m:?} out of unit budget");
+            assert!(!m.tag().is_empty());
+        }
+    }
+
+    #[test]
+    fn tags_group_by_stage() {
+        assert_eq!(Msg::Bfs.tag(), "a:bfs");
+        assert_eq!(Msg::NewFrag { id: 3 }.tag(), "b:merge");
+        assert_eq!(Msg::Register { slot: 0, height: 1 }.tag(), "c:intervals");
+        assert_eq!(Msg::UpDone.tag(), "d:upcast");
+    }
+}

@@ -1,0 +1,382 @@
+//! The per-vertex state machine implementing Elkin's algorithm.
+//!
+//! One [`ElkinNode`] runs at every vertex of the simulated network and
+//! progresses through four stages:
+//!
+//! * **Stage A** (`stage_a.rs`): BFS tree from the designated root, subtree
+//!   size/height convergecast, broadcast of the agreed parameters
+//!   `(n, H, k, t0)` (paper §3, "auxiliary BFS tree").
+//! * **Stage B** (`stage_b.rs`): Controlled-GHS on the fixed round schedule
+//!   of [`Schedule`](crate::schedule::Schedule), producing the
+//!   `(O(n/k), O(k))` base MST forest (paper §4).
+//! * **Stage C** (`stage_cd.rs`): interval labeling of the BFS tree and
+//!   pipelined registration of base-fragment roots (paper §3).
+//! * **Stage D** (`stage_cd.rs`): Borůvka phases over the base forest with
+//!   pipelined, filtered candidate upcasts and interval-routed downcasts,
+//!   coordinated by BFS-tree barriers (paper §3).
+//!
+//! Stages C/D are event-driven (explicit completion/barrier messages) rather
+//! than window-scheduled; DESIGN.md §6 explains why this is faithful to the
+//! paper's cost accounting.
+
+mod stage_a;
+mod stage_b;
+mod stage_cd;
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use congest_sim::{NodeInfo, NodeProgram, PortId, RoundCtx};
+
+use crate::candidate::{CandKey, Candidate};
+use crate::config::ElkinConfig;
+use crate::msg::Msg;
+use crate::schedule::{Params, Schedule};
+
+/// Marker for "unknown neighbor data" in port-indexed tables.
+pub(crate) const UNKNOWN: u64 = u64::MAX;
+
+/// Which direction a subtree minimum came from during an argmin
+/// convergecast (the downcast retraces these selections).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub(crate) enum Sel {
+    /// No candidate in my subtree.
+    #[default]
+    None,
+    /// My own incident edge at this port.
+    Mine(PortId),
+    /// Reported by the fragment child behind this port.
+    Child(PortId),
+}
+
+/// Stage A working state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AState {
+    pub seen: bool,
+    pub close_round: u64,
+    pub closed: bool,
+    pub size_pending: usize,
+    pub acc_size: u64,
+    pub acc_height: u64,
+    pub reported: bool,
+}
+
+/// Per-phase Controlled-GHS scratch (reset at each Announce window).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BScratch {
+    pub probed: bool,
+    pub probe_pending: usize,
+    pub agg: Option<CandKey>,
+    pub overflow: bool,
+    pub responded: bool,
+    pub sel: Sel,
+    pub participating: bool,
+    pub out_port: Option<PortId>,
+    /// Port-indexed: `(child fragment id, matched?)` for registered foreign
+    /// children.
+    pub foreign_child: Vec<Option<(u64, bool)>>,
+    pub kids_pending: usize,
+    pub kids_agg: bool,
+    pub has_kids: bool,
+    pub color: u64,
+    pub prev_color: u64,
+    pub parent_color: Option<u64>,
+    pub matched: bool,
+    pub newly_matched: bool,
+    pub partner: Option<u64>,
+    pub col_pending: usize,
+    pub col_agg: Option<u64>,
+    pub col_sel: Sel,
+    pub merge_ports: Vec<PortId>,
+    pub matched_port: Option<PortId>,
+    pub flooded: bool,
+}
+
+/// Stage C working state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CState {
+    pub entered: bool,
+    pub interval_received: bool,
+    pub registered: bool,
+    pub reg_queue: VecDeque<u64>,
+    pub reg_done_children: usize,
+    pub reg_done_sent: bool,
+}
+
+/// Per-phase Stage D scratch.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DScratch {
+    /// The phase this scratch belongs to.
+    pub phase: u64,
+    pub started: bool,
+    pub announced: bool,
+    pub ann_recv: usize,
+    pub ann_done_children: usize,
+    pub ann_done_sent: bool,
+    pub mwoe_go: bool,
+    pub probed: bool,
+    pub probe_pending: usize,
+    pub agg: Option<(CandKey, u64, u64)>,
+    pub sel: Sel,
+    pub responded: bool,
+    pub injected: bool,
+    /// Best known candidate per source coarse id (also the BFS root's
+    /// collection).
+    pub up_best: HashMap<u64, Candidate>,
+    /// Best key already forwarded per source coarse id.
+    pub up_sent: HashMap<u64, CandKey>,
+    /// Entries of `up_best` not yet forwarded, ordered by key (send queue).
+    pub up_pending: std::collections::BTreeSet<(CandKey, u64)>,
+    pub updone_children: usize,
+    pub updone_sent: bool,
+    pub new_coarse_seen: bool,
+    pub phase_done_children: usize,
+    pub phase_done_sent: bool,
+}
+
+/// Coordination state held only by the BFS root (the paper's `rt`, which
+/// stores the fragment graph locally).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RootState {
+    pub slots: Vec<u64>,
+    pub reg_done_children: usize,
+    pub reg_complete: bool,
+    /// Current coarse id of each registered base fragment (by slot).
+    pub slot_coarse: HashMap<u64, u64>,
+    pub done_flag: bool,
+}
+
+/// The algorithm's per-vertex program. Construct via [`ElkinNode::new`] and
+/// run under `congest_sim::Network`; after quiescence,
+/// [`ElkinNode::mst_ports`] holds the output.
+#[derive(Clone, Debug)]
+pub struct ElkinNode {
+    // Immutable identity.
+    pub(crate) id: u64,
+    pub(crate) deg: usize,
+    pub(crate) weights: Vec<u64>,
+    pub(crate) cfg: ElkinConfig,
+
+    // Stage progression.
+    pub(crate) stage: Stage,
+    pub(crate) finished: bool,
+    /// The global done flag arrived; we finish once our queues drain.
+    pub(crate) done_seen: bool,
+
+    pub(crate) a: AState,
+    pub(crate) params: Option<Params>,
+    pub(crate) sched: Option<Schedule>,
+
+    // BFS tree (stage A output).
+    pub(crate) depth: u64,
+    pub(crate) bfs_parent: Option<PortId>,
+    pub(crate) bfs_children: Vec<PortId>,
+    pub(crate) child_sizes: Vec<u64>,
+
+    // Port-indexed neighbor knowledge (learned from announces).
+    pub(crate) nbr_id: Vec<u64>,
+    pub(crate) nbr_frag: Vec<u64>,
+    pub(crate) nbr_coarse: Vec<u64>,
+
+    // Fragment membership (evolves through stage B; fixed in C/D).
+    pub(crate) frag_id: u64,
+    pub(crate) frag_parent: Option<PortId>,
+    pub(crate) frag_children: Vec<PortId>,
+
+    // Output: which incident edges are MST edges.
+    pub(crate) mst: Vec<bool>,
+
+    pub(crate) b: BScratch,
+
+    // Stage C/D state.
+    pub(crate) slot: u64,
+    pub(crate) child_ivs: Vec<(u64, u64)>,
+    pub(crate) coarse: u64,
+    /// `Some(j)`: the coarse id is current for phase `j`.
+    pub(crate) coarse_ready: Option<u64>,
+    pub(crate) c: CState,
+    pub(crate) d: DScratch,
+    /// Pipelined downcast queues, one per BFS child (parallel to
+    /// `bfs_children`).
+    pub(crate) down: Vec<VecDeque<Msg>>,
+    pub(crate) root: Option<Box<RootState>>,
+    /// Per-port `(round, words already sent)` ledger: control messages
+    /// record their usage, pipelines spend what is left of the per-edge
+    /// budget, so a shared fragment-tree/BFS-tree edge never oversubscribes.
+    pub(crate) ledger: Vec<(u64, u32)>,
+    /// Milestone rounds: when this vertex entered Stage B, Stage C/D, the
+    /// first Borůvka phase, and the finished state (for stage profiling).
+    pub(crate) milestones: Milestones,
+}
+
+/// Rounds at which a vertex crossed each stage boundary (u64::MAX until
+/// crossed). Aggregated by the runner into a per-run stage profile.
+#[derive(Clone, Copy, Debug)]
+pub struct Milestones {
+    /// Entered Stage B (Controlled-GHS) — end of Stage A.
+    pub entered_b: u64,
+    /// Entered Stage C (intervals/registration) — end of Stage B.
+    pub entered_cd: u64,
+    /// Saw `StartPhase {0}` — end of Stage C.
+    pub entered_d: u64,
+    /// Reached the finished state.
+    pub finished_at: u64,
+}
+
+impl Default for Milestones {
+    fn default() -> Self {
+        Self { entered_b: u64::MAX, entered_cd: u64::MAX, entered_d: u64::MAX, finished_at: u64::MAX }
+    }
+}
+
+/// Coarse stage marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Stage {
+    A,
+    B,
+    CD,
+}
+
+impl ElkinNode {
+    /// Builds the program for one vertex from its simulator-provided
+    /// [`NodeInfo`] and the run configuration.
+    pub fn new(info: NodeInfo<'_>, cfg: ElkinConfig) -> Self {
+        let deg = info.ports.len();
+        Self {
+            id: info.id as u64,
+            deg,
+            weights: info.ports.iter().map(|p| p.weight).collect(),
+            cfg,
+            stage: Stage::A,
+            finished: false,
+            done_seen: false,
+            a: AState::default(),
+            params: None,
+            sched: None,
+            depth: 0,
+            bfs_parent: None,
+            bfs_children: Vec::new(),
+            child_sizes: Vec::new(),
+            nbr_id: vec![UNKNOWN; deg],
+            nbr_frag: vec![UNKNOWN; deg],
+            nbr_coarse: vec![UNKNOWN; deg],
+            frag_id: info.id as u64,
+            frag_parent: None,
+            frag_children: Vec::new(),
+            mst: vec![false; deg],
+            b: BScratch::default(),
+            slot: 0,
+            child_ivs: Vec::new(),
+            coarse: 0,
+            coarse_ready: None,
+            c: CState::default(),
+            d: DScratch::default(),
+            down: Vec::new(),
+            root: None,
+            ledger: vec![(u64::MAX, 0); deg],
+            milestones: Milestones::default(),
+        }
+    }
+
+    /// Whether this vertex is the designated BFS root.
+    #[inline]
+    pub(crate) fn is_bfs_root(&self) -> bool {
+        self.id == self.cfg.root as u64
+    }
+
+    /// Whether this vertex is currently its fragment's root.
+    #[inline]
+    pub(crate) fn is_frag_root(&self) -> bool {
+        self.frag_id == self.id
+    }
+
+    /// Ports that are incident MST edges, in ascending order — the
+    /// algorithm's required per-vertex output.
+    pub fn mst_ports(&self) -> Vec<PortId> {
+        self.mst.iter().enumerate().filter(|(_, &m)| m).map(|(p, _)| p).collect()
+    }
+
+    /// The parameter `k` this run settled on (after Stage A).
+    pub fn chosen_k(&self) -> Option<u64> {
+        self.params.map(|p| p.k)
+    }
+
+    /// The base-fragment id this vertex ended Stage B with.
+    pub fn base_fragment(&self) -> u64 {
+        self.frag_id
+    }
+
+    /// This vertex's fragment-tree parent port, if any.
+    pub fn fragment_parent(&self) -> Option<PortId> {
+        self.frag_parent
+    }
+
+    /// This vertex's BFS depth (valid after Stage A).
+    pub fn bfs_depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// This vertex's BFS-tree parent port (valid after Stage A; `None` at
+    /// the BFS root).
+    pub fn bfs_parent_port(&self) -> Option<PortId> {
+        self.bfs_parent
+    }
+
+    /// Which incident ports are currently marked as MST edges.
+    pub fn mst_marks(&self) -> &[bool] {
+        &self.mst
+    }
+
+    /// Stage-boundary rounds recorded by this vertex.
+    pub fn milestones(&self) -> Milestones {
+        self.milestones
+    }
+
+    /// Sends a stage C/D message and records its words against this round's
+    /// per-port budget (see `ledger`).
+    pub(crate) fn send_cd(&mut self, ctx: &mut RoundCtx<'_, Msg>, port: PortId, msg: Msg) {
+        use congest_sim::Message as _;
+        let round = ctx.round();
+        let slot = &mut self.ledger[port];
+        if slot.0 != round {
+            *slot = (round, 0);
+        }
+        slot.1 += msg.words();
+        ctx.send(port, msg);
+    }
+
+    /// Words still available for pipelined sends on `port` this round,
+    /// keeping one word of headroom for a trailing control message.
+    pub(crate) fn pipe_budget(&self, round: u64, port: PortId) -> u32 {
+        let cap = 8 * self.cfg.bandwidth;
+        let used = if self.ledger[port].0 == round { self.ledger[port].1 } else { 0 };
+        cap.saturating_sub(used).saturating_sub(1)
+    }
+}
+
+impl NodeProgram for ElkinNode {
+    type Msg = Msg;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+        // Messages first (they were sent last round and logically precede
+        // this round's actions), then stage-specific scheduled actions.
+        match self.stage {
+            Stage::A => {
+                self.a_handle(ctx);
+                self.a_act(ctx);
+            }
+            Stage::B => {
+                self.b_handle(ctx);
+                self.b_act(ctx);
+            }
+            Stage::CD => {
+                self.cd_handle(ctx);
+                self.cd_act(ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished
+    }
+}

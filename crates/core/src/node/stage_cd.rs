@@ -1,0 +1,486 @@
+//! Stages C and D: interval labeling, fragment registration, and the
+//! Borůvka phases over the base forest (paper §3).
+//!
+//! Unlike Stage B, these stages are *event-driven*: sub-steps are separated
+//! by explicit completion markers and BFS-tree barriers instead of fixed
+//! round windows. Each barrier costs `O(H)` rounds and `O(n)` messages per
+//! phase — within the paper's `O((D + k + n/(kb)) log n)` round and
+//! `O((m + n) log n)` message budget for this stage — and keeps measured
+//! round counts honest (no idle padding to window ends).
+//!
+//! Per phase `j`:
+//!
+//! 1. `StartPhase` floods down the BFS tree; every vertex announces its
+//!    coarse id to all neighbors once its own id is current; the `AnnDone`
+//!    convergecast tells the root when every announcement has landed.
+//! 2. `MwoeGo` floods down; every base-fragment root runs a
+//!    broadcast/convergecast (`FragProbe` / `FragMwoeUp`) computing the
+//!    lightest edge leaving the *coarse* fragment, remembering the argmin
+//!    path.
+//! 3. Fragment roots inject `Candidate` records into the pipelined upcast:
+//!    every BFS vertex keeps only the best record per source coarse id,
+//!    forwards improvements smallest-key-first under the per-edge word
+//!    budget, and sends `UpDone` when its subtree is exhausted.
+//! 4. The BFS root merges the fragment graph locally (union–find over
+//!    coarse ids, one MWOE per coarse fragment — exactly the computation
+//!    the paper assigns to `rt`), picks the chosen MST edges, and answers
+//!    every base fragment with an interval-routed, pipelined `Assign`.
+//! 5. Fragment roots broadcast `NewCoarse` internally; chosen candidates
+//!    are marked by a `MarkPath` downcast along the remembered argmin path
+//!    plus a `MarkCross` over the edge itself. The `PhaseDone` convergecast
+//!    triggers the next phase; `done` rides the `Assign`/`NewCoarse`
+//!    messages when one coarse fragment remains.
+
+use congest_sim::{PortId, RoundCtx};
+
+use crate::candidate::{CandKey, Candidate};
+use crate::msg::Msg;
+
+use super::{DScratch, ElkinNode, Sel, UNKNOWN};
+
+impl ElkinNode {
+    /// Called once when Stage B's schedule ends.
+    pub(crate) fn cd_enter(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+        debug_assert!(!self.c.entered);
+        self.c.entered = true;
+        self.milestones.entered_cd = ctx.round();
+        if self.cfg.stop_after_forest {
+            // Theorem 4.3 standalone: the base forest is the deliverable.
+            self.finished = true;
+            return;
+        }
+        self.down = vec![std::collections::VecDeque::new(); self.bfs_children.len()];
+        if self.is_bfs_root() {
+            self.root = Some(Box::default());
+            self.cd_take_interval(ctx, 0);
+        }
+    }
+
+    /// Receive my interval, hand sub-intervals to my BFS children, and (if I
+    /// root a base fragment) register with the BFS root and initialize my
+    /// fragment's coarse id.
+    fn cd_take_interval(&mut self, ctx: &mut RoundCtx<'_, Msg>, start: u64) {
+        self.slot = start;
+        self.c.interval_received = true;
+        self.child_ivs = crate::intervals::assign_children(start, &self.child_sizes);
+        for (i, &(cstart, size)) in self.child_ivs.clone().iter().enumerate() {
+            self.send_cd(ctx, self.bfs_children[i], Msg::Interval { start: cstart, size });
+        }
+        if self.is_frag_root() {
+            self.c.registered = true;
+            let slot = self.slot;
+            if let Some(root) = self.root.as_mut() {
+                root.slots.push(slot);
+                root.slot_coarse.insert(slot, slot);
+            } else {
+                self.c.reg_queue.push_back(slot);
+            }
+            self.coarse = slot;
+            self.coarse_ready = Some(0);
+            for &q in &self.frag_children.clone() {
+                self.send_cd(ctx, q, Msg::InitCoarse { id: slot });
+            }
+        }
+    }
+
+    pub(crate) fn cd_handle(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+        let inbox: Vec<(usize, Msg)> = ctx.inbox().to_vec();
+        for (port, msg) in inbox {
+            match msg {
+                Msg::Interval { start, .. } => self.cd_take_interval(ctx, start),
+                Msg::InitCoarse { id } => {
+                    self.coarse = id;
+                    self.coarse_ready = Some(0);
+                    for &q in &self.frag_children.clone() {
+                        self.send_cd(ctx, q, Msg::InitCoarse { id });
+                    }
+                }
+                Msg::Register { slot, .. } => {
+                    if let Some(root) = self.root.as_mut() {
+                        root.slots.push(slot);
+                        root.slot_coarse.insert(slot, slot);
+                    } else {
+                        self.c.reg_queue.push_back(slot);
+                    }
+                }
+                Msg::RegDone => {
+                    if let Some(root) = self.root.as_mut() {
+                        root.reg_done_children += 1;
+                    } else {
+                        self.c.reg_done_children += 1;
+                    }
+                }
+                Msg::StartPhase { j } => {
+                    debug_assert_eq!(j, self.d.phase, "phase skew at vertex {}", self.id);
+                    self.d.started = true;
+                    if j == 0 {
+                        self.milestones.entered_d = ctx.round();
+                    }
+                    for &q in &self.bfs_children.clone() {
+                        self.send_cd(ctx, q, Msg::StartPhase { j });
+                    }
+                }
+                Msg::CoarseAnnounce { coarse, me } => {
+                    self.nbr_coarse[port] = coarse;
+                    self.nbr_id[port] = me;
+                    self.d.ann_recv += 1;
+                }
+                Msg::AnnDone => self.d.ann_done_children += 1,
+                Msg::MwoeGo => {
+                    if !self.d.mwoe_go {
+                        self.d.mwoe_go = true;
+                        for &q in &self.bfs_children.clone() {
+                            self.send_cd(ctx, q, Msg::MwoeGo);
+                        }
+                    }
+                }
+                Msg::FragProbe => self.cd_probe_receive(ctx, port),
+                Msg::FragMwoeUp { cand } => {
+                    if let Some((key, sc, dc)) = cand {
+                        if self.d.agg.is_none_or(|(a, _, _)| key < a) {
+                            self.d.agg = Some((key, sc, dc));
+                            self.d.sel = Sel::Child(port);
+                        }
+                    }
+                    self.d.probe_pending -= 1;
+                    if self.d.probe_pending == 0 {
+                        self.cd_probe_complete(ctx);
+                    }
+                }
+                Msg::Candidate { rec } => self.cd_offer(rec),
+                Msg::UpDone => self.d.updone_children += 1,
+                Msg::Assign { dest_slot, new_coarse, chosen, done } => {
+                    if dest_slot == self.slot {
+                        self.cd_consume_assign(ctx, new_coarse, chosen, done);
+                    } else {
+                        let idx = self.cd_route(dest_slot);
+                        self.down[idx].push_back(Msg::Assign {
+                            dest_slot,
+                            new_coarse,
+                            chosen,
+                            done,
+                        });
+                    }
+                }
+                Msg::NewCoarse { id, done } => self.cd_apply_new_coarse(ctx, id, done),
+                Msg::MarkPath => match self.d.sel {
+                    Sel::Mine(q) => {
+                        self.mst[q] = true;
+                        self.send_cd(ctx, q, Msg::MarkCross);
+                    }
+                    Sel::Child(c) => self.send_cd(ctx, c, Msg::MarkPath),
+                    Sel::None => unreachable!("MarkPath reached a subtree without a candidate"),
+                },
+                Msg::MarkCross => self.mst[port] = true,
+                Msg::PhaseDone => self.d.phase_done_children += 1,
+                other => unreachable!("stage C/D received {other:?}"),
+            }
+        }
+    }
+
+    pub(crate) fn cd_act(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+        // --- Stage C: registration pipeline and its completion barrier ---
+        if self.c.interval_received && !self.c.reg_done_sent {
+            if let Some(parent) = self.bfs_parent {
+                while self.pipe_budget(ctx.round(), parent) >= 2 {
+                    match self.c.reg_queue.pop_front() {
+                        Some(slot) => {
+                            self.send_cd(ctx, parent, Msg::Register { slot, height: 0 });
+                        }
+                        None => break,
+                    }
+                }
+                let my_duty = !self.is_frag_root() || self.c.registered;
+                if my_duty
+                    && self.c.reg_queue.is_empty()
+                    && self.c.reg_done_children == self.bfs_children.len()
+                {
+                    self.send_cd(ctx, parent, Msg::RegDone);
+                    self.c.reg_done_sent = true;
+                }
+            }
+        }
+        if let Some(root) = self.root.as_mut() {
+            if !root.reg_complete
+                && self.c.interval_received
+                && root.reg_done_children == self.bfs_children.len()
+            {
+                root.reg_complete = true;
+                root.slots.sort_unstable();
+                self.d.started = true;
+                self.milestones.entered_d = ctx.round();
+                for &q in &self.bfs_children.clone() {
+                    self.send_cd(ctx, q, Msg::StartPhase { j: 0 });
+                }
+            }
+        }
+
+        // --- Stage D per-phase steps, evaluated every round ---
+        // (a) Announce once the phase is open and our coarse id is current.
+        if self.d.started && !self.d.announced && self.coarse_ready == Some(self.d.phase) {
+            self.d.announced = true;
+            let coarse = self.coarse;
+            for q in 0..self.deg {
+                self.send_cd(ctx, q, Msg::CoarseAnnounce { coarse, me: self.id });
+            }
+        }
+
+        // (b) Announce barrier.
+        if self.d.announced
+            && !self.d.ann_done_sent
+            && self.d.ann_recv == self.deg
+            && self.d.ann_done_children == self.bfs_children.len()
+        {
+            self.d.ann_done_sent = true;
+            if let Some(parent) = self.bfs_parent {
+                self.send_cd(ctx, parent, Msg::AnnDone);
+            } else {
+                self.d.mwoe_go = true;
+                for &q in &self.bfs_children.clone() {
+                    self.send_cd(ctx, q, Msg::MwoeGo);
+                }
+            }
+        }
+
+        // (c) Fragment MWOE search kick-off at base-fragment roots.
+        if self.d.mwoe_go && self.is_frag_root() && !self.d.probed {
+            self.d.probed = true;
+            let (agg, sel) = self.cd_local_candidate();
+            self.d.agg = agg;
+            self.d.sel = sel;
+            self.d.probe_pending = self.frag_children.len();
+            if self.d.probe_pending == 0 {
+                self.cd_inject();
+            } else {
+                for &q in &self.frag_children.clone() {
+                    self.send_cd(ctx, q, Msg::FragProbe);
+                }
+            }
+        }
+
+        // (d) Candidate pipeline flush toward the BFS parent.
+        if self.bfs_parent.is_some() && !self.d.up_pending.is_empty() {
+            let parent = self.bfs_parent.expect("checked");
+            while self.pipe_budget(ctx.round(), parent) >= 6 {
+                let Some(&(key, sc)) = self.d.up_pending.iter().next() else { break };
+                self.d.up_pending.remove(&(key, sc));
+                let rec = self.d.up_best[&sc];
+                debug_assert_eq!(rec.key, key);
+                self.d.up_sent.insert(sc, key);
+                self.send_cd(ctx, parent, Msg::Candidate { rec });
+            }
+        }
+
+        // (e) Upcast completion / (f) root-local merge.
+        let my_inject_done = self.d.injected || (self.d.mwoe_go && !self.is_frag_root());
+        if !self.d.updone_sent
+            && self.d.mwoe_go
+            && my_inject_done
+            && self.d.updone_children == self.bfs_children.len()
+            && self.d.up_pending.is_empty()
+        {
+            self.d.updone_sent = true;
+            if let Some(parent) = self.bfs_parent {
+                self.send_cd(ctx, parent, Msg::UpDone);
+            } else {
+                self.cd_root_merge(ctx);
+            }
+        }
+
+        // Downcast pipeline flush (runs in every phase and after `done`).
+        for i in 0..self.down.len() {
+            let port = self.bfs_children[i];
+            while self.pipe_budget(ctx.round(), port) >= 3 {
+                match self.down[i].pop_front() {
+                    Some(m) => self.send_cd(ctx, port, m),
+                    None => break,
+                }
+            }
+        }
+
+        // (g) Phase barrier / termination.
+        if self.d.new_coarse_seen && !self.done_seen && !self.d.phase_done_sent
+            && self.d.phase_done_children == self.bfs_children.len() {
+                self.d.phase_done_sent = true;
+                if let Some(parent) = self.bfs_parent {
+                    self.send_cd(ctx, parent, Msg::PhaseDone);
+                    self.d = DScratch { phase: self.d.phase + 1, ..DScratch::default() };
+                } else {
+                    let next = self.d.phase + 1;
+                    self.d = DScratch { phase: next, started: true, ..DScratch::default() };
+                    for &q in &self.bfs_children.clone() {
+                        self.send_cd(ctx, q, Msg::StartPhase { j: next });
+                    }
+                }
+            }
+
+        // Quiesce only when everything queued has been flushed.
+        if self.done_seen
+            && self.d.up_pending.is_empty()
+            && self.c.reg_queue.is_empty()
+            && self.down.iter().all(|q| q.is_empty())
+        {
+            if !self.finished {
+                self.milestones.finished_at = ctx.round();
+            }
+            self.finished = true;
+        }
+    }
+
+    // ---- helpers ----
+
+    /// Lightest incident edge leaving my *coarse* fragment.
+    fn cd_local_candidate(&self) -> (Option<(CandKey, u64, u64)>, Sel) {
+        let mut best: Option<(CandKey, u64, u64)> = None;
+        let mut sel = Sel::None;
+        for q in 0..self.deg {
+            let nc = self.nbr_coarse[q];
+            if nc != self.coarse && nc != UNKNOWN {
+                let key = CandKey::new(self.weights[q], self.id, self.nbr_id[q]);
+                if best.is_none_or(|(b, _, _)| key < b) {
+                    best = Some((key, self.coarse, nc));
+                    sel = Sel::Mine(q);
+                }
+            }
+        }
+        (best, sel)
+    }
+
+    fn cd_probe_receive(&mut self, ctx: &mut RoundCtx<'_, Msg>, port: PortId) {
+        debug_assert!(!self.d.probed);
+        debug_assert_eq!(Some(port), self.frag_parent);
+        self.d.probed = true;
+        let (agg, sel) = self.cd_local_candidate();
+        self.d.agg = agg;
+        self.d.sel = sel;
+        self.d.probe_pending = self.frag_children.len();
+        if self.d.probe_pending == 0 {
+            self.send_cd(ctx, port, Msg::FragMwoeUp { cand: self.d.agg });
+            self.d.responded = true;
+        } else {
+            for &q in &self.frag_children.clone() {
+                self.send_cd(ctx, q, Msg::FragProbe);
+            }
+        }
+    }
+
+    fn cd_probe_complete(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+        if self.is_frag_root() {
+            self.cd_inject();
+        } else if !self.d.responded {
+            self.d.responded = true;
+            let up = self.frag_parent.expect("non-root has a fragment parent");
+            self.send_cd(ctx, up, Msg::FragMwoeUp { cand: self.d.agg });
+        }
+    }
+
+    /// Fragment root: turn the aggregate into a pipelined record.
+    fn cd_inject(&mut self) {
+        debug_assert!(!self.d.injected);
+        self.d.injected = true;
+        if let Some((key, sc, dc)) = self.d.agg {
+            let rec = Candidate { key, src_coarse: sc, dst_coarse: dc, src_slot: self.slot };
+            self.cd_offer(rec);
+        }
+    }
+
+    /// Filtered insert into the upcast buffer (also the BFS root's
+    /// collection): keep only improvements per source coarse id.
+    fn cd_offer(&mut self, rec: Candidate) {
+        let sc = rec.src_coarse;
+        if self.d.up_sent.get(&sc).is_some_and(|s| *s <= rec.key) {
+            return;
+        }
+        if let Some(old) = self.d.up_best.get(&sc) {
+            if old.key <= rec.key {
+                return;
+            }
+            self.d.up_pending.remove(&(old.key, sc));
+        }
+        self.d.up_best.insert(sc, rec);
+        if self.bfs_parent.is_some() {
+            self.d.up_pending.insert((rec.key, sc));
+        }
+    }
+
+    /// BFS-root-local Borůvka merge of the fragment graph (paper §3: `rt`
+    /// computes the MWOEs, merges fragments, and answers every base
+    /// fragment).
+    /// BFS-root-local Borůvka merge of the fragment graph (paper §3: `rt`
+    /// computes the MWOEs, merges fragments, and answers every base
+    /// fragment). The pure computation lives in
+    /// [`merge_fragment_graph`](crate::fraggraph::merge_fragment_graph).
+    fn cd_root_merge(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+        let mut root = self.root.take().expect("only the BFS root merges");
+
+        let coarse_ids: Vec<u64> = root.slot_coarse.values().copied().collect();
+        let outcome = crate::fraggraph::merge_fragment_graph(&coarse_ids, &self.d.up_best);
+        let done = outcome.done;
+        root.done_flag = done;
+
+        // Answer every base fragment with its new coarse id.
+        let slots = root.slots.clone();
+        for &slot in &slots {
+            let old = root.slot_coarse[&slot];
+            let nc = outcome.new_id[&old];
+            root.slot_coarse.insert(slot, nc);
+            let chosen = outcome.chosen_slots.contains(&slot);
+            if slot == self.slot {
+                self.root = Some(root);
+                self.cd_consume_assign(ctx, nc, chosen, done);
+                root = self.root.take().expect("restored above");
+            } else {
+                let idx = self.cd_route(slot);
+                self.down[idx].push_back(Msg::Assign {
+                    dest_slot: slot,
+                    new_coarse: nc,
+                    chosen,
+                    done,
+                });
+            }
+        }
+        self.root = Some(root);
+    }
+
+    /// Which BFS child's interval contains `dest`?
+    fn cd_route(&self, dest: u64) -> usize {
+        crate::intervals::route(&self.child_ivs, dest)
+            .unwrap_or_else(|| panic!("slot {dest} not in any child interval of {}", self.id))
+    }
+
+    /// A base-fragment root received its phase answer: broadcast the new
+    /// coarse id, mark the chosen edge, and run my own update.
+    fn cd_consume_assign(&mut self, ctx: &mut RoundCtx<'_, Msg>, nc: u64, chosen: bool, done: bool) {
+        debug_assert!(self.is_frag_root());
+        if chosen {
+            match self.d.sel {
+                Sel::Mine(q) => {
+                    self.mst[q] = true;
+                    self.send_cd(ctx, q, Msg::MarkCross);
+                }
+                Sel::Child(c) => self.send_cd(ctx, c, Msg::MarkPath),
+                Sel::None => unreachable!("chosen candidate without a selection"),
+            }
+        }
+        for &q in &self.frag_children.clone() {
+            self.send_cd(ctx, q, Msg::NewCoarse { id: nc, done });
+        }
+        self.cd_apply_new_coarse_local(nc, done);
+    }
+
+    fn cd_apply_new_coarse(&mut self, ctx: &mut RoundCtx<'_, Msg>, id: u64, done: bool) {
+        for &q in &self.frag_children.clone() {
+            self.send_cd(ctx, q, Msg::NewCoarse { id, done });
+        }
+        self.cd_apply_new_coarse_local(id, done);
+    }
+
+    fn cd_apply_new_coarse_local(&mut self, id: u64, done: bool) {
+        self.coarse = id;
+        self.coarse_ready = Some(self.d.phase + 1);
+        self.d.new_coarse_seen = true;
+        if done {
+            self.done_seen = true;
+        }
+    }
+}

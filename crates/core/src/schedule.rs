@@ -1,0 +1,359 @@
+//! Global parameters and the fixed round schedule of the Controlled-GHS
+//! stage.
+//!
+//! The synchronous model gives every vertex a shared clock, so once the BFS
+//! root has broadcast `(n, H, k, t0)` (end of Stage A), every vertex computes
+//! the *same* schedule locally and knows, for any absolute round, which
+//! sub-step of which Controlled-GHS phase is executing. This realizes the
+//! paper's implicit phase synchronization with explicit budget constants.
+//!
+//! Per phase `i` (participation radius `p = 2^i`), the windows are:
+//!
+//! | window | length | purpose (paper §4) |
+//! |---|---|---|
+//! | Announce | `1` | fragment-id refresh to neighbors |
+//! | Probe | `2p + 2` | depth-budgeted MWOE convergecast + participation test |
+//! | Connect | `p + 3` | `Participate` flood, argmin downcast, `ConnectReq` over the MWOE |
+//! | Kids | `p + 2` | convergecast: does the fragment have foreign children? |
+//! | Exchange × X | `2p + 3` each | Cole–Vishkin iterations (`X = steps_to_six(n) + 6`) |
+//! | Collect/Accept/Status × 3 | `p+2`, `2p+4`, `p+3` | maximal matching, one color class per step |
+//! | MergeGo | `p + 2` (`2p + 4` uncontrolled) | unmatched fragments fire their MWOE |
+//! | MergeFlood | `6p + 6` (`n + 2p + 6` uncontrolled) | new-fragment flood and re-orientation |
+//!
+//! The **uncontrolled** mode (ablation A1) skips coloring and matching
+//! entirely and lets every fragment merge along its MWOE; its flood window
+//! must cover `Θ(n)` because without matching the fragment diameter is
+//! unbounded — that blow-up is exactly what the ablation demonstrates.
+
+use crate::cv::steps_to_six;
+use crate::util::{ceil_log2, isqrt};
+
+/// Whether Controlled-GHS merges via maximal matching (the paper) or merges
+/// every fragment along its MWOE (ablation A1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeControl {
+    /// Paper behaviour: 3-coloring + maximal matching bounds fragment
+    /// diameter by `O(2^i)` per phase.
+    #[default]
+    Matched,
+    /// Ablation: pure Borůvka merging; diameter may blow up to `Θ(n)`.
+    Uncontrolled,
+}
+
+/// The globally agreed parameters broadcast by the BFS root at the end of
+/// Stage A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Number of vertices.
+    pub n: u64,
+    /// BFS tree height (`H <= D <= 2H`).
+    pub h: u64,
+    /// Base-forest parameter `k`.
+    pub k: u64,
+    /// Absolute round at which Stage B starts.
+    pub t0: u64,
+}
+
+/// The paper's parameter choice (§3): `k = sqrt(n/b)` in the small-diameter
+/// regime and `k = Θ(D)` in the large-diameter regime, implemented as
+/// `max(sqrt(n/b), H)` with the BFS height `H` standing in for `D`
+/// (`H <= D <= 2H`). Always at least 1.
+pub fn choose_k(n: u64, h: u64, bandwidth: u32) -> u64 {
+    let nb = n.div_euclid(u64::from(bandwidth.max(1))).max(1);
+    isqrt(nb).max(h).max(1)
+}
+
+/// One scheduled window of a Controlled-GHS phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// Fragment-id refresh (1 round).
+    Announce,
+    /// Depth-budgeted probe + MWOE convergecast.
+    Probe,
+    /// Participate flood, argmin downcast, cross-edge connect.
+    Connect,
+    /// Foreign-children existence convergecast.
+    Kids,
+    /// One Cole–Vishkin exchange; see [`ExchangeKind`].
+    Exchange(u32),
+    /// Matching: collect unmatched children (for color class `c`).
+    MatchCollect(u8),
+    /// Matching: accept one child (for color class `c`).
+    MatchAccept(u8),
+    /// Matching: propagate new matched statuses (for color class `c`).
+    MatchStatus(u8),
+    /// Unmatched fragments fire their MWOE.
+    MergeGo,
+    /// New-fragment flood: ids + re-orientation.
+    MergeFlood,
+}
+
+/// Semantic classification of an exchange index within the CV reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeKind {
+    /// Bit-ladder step ([`crate::cv::cv_step`]).
+    Ladder,
+    /// Shift-down preceding the recoloring of `class`.
+    ShiftDown(u64),
+    /// Recoloring of color `class` into `{0, 1, 2}`.
+    Recolor(u64),
+}
+
+/// Where a round falls inside the Stage B schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Phase index `i` (participation radius `2^i`).
+    pub phase: u32,
+    /// The window within the phase.
+    pub window: Window,
+    /// Offset of this round within the window (0-based).
+    pub offset: u64,
+    /// Whether this is the window's final round (safe evaluation point).
+    pub last: bool,
+}
+
+/// The fully determined Stage B schedule, identical at every vertex.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    t0: u64,
+    num_phases: u32,
+    exchanges: u32,
+    mode: MergeControl,
+    n: u64,
+    /// Start round of each phase (absolute), plus the end sentinel.
+    phase_starts: Vec<u64>,
+}
+
+impl Schedule {
+    /// Builds the schedule from the broadcast parameters.
+    pub fn new(params: &Params, mode: MergeControl) -> Self {
+        let num_phases = if params.k <= 1 { 0 } else { ceil_log2(params.k) as u32 };
+        let exchanges = steps_to_six(params.n) + 6;
+        let mut phase_starts = Vec::with_capacity(num_phases as usize + 1);
+        let mut start = params.t0;
+        for i in 0..num_phases {
+            phase_starts.push(start);
+            start += Self::phase_len_for(i, exchanges, mode, params.n);
+        }
+        phase_starts.push(start);
+        Self { t0: params.t0, num_phases, exchanges, mode, n: params.n, phase_starts }
+    }
+
+    /// Number of Controlled-GHS phases (`ceil(log2 k)`).
+    pub fn num_phases(&self) -> u32 {
+        self.num_phases
+    }
+
+    /// Number of CV exchange windows per phase.
+    pub fn exchanges(&self) -> u32 {
+        self.exchanges
+    }
+
+    /// First round of Stage B.
+    pub fn start(&self) -> u64 {
+        self.t0
+    }
+
+    /// First round *after* Stage B (Stage C entry point).
+    pub fn end(&self) -> u64 {
+        *self.phase_starts.last().expect("sentinel always present")
+    }
+
+    /// The participation radius `2^i` of phase `i`.
+    pub fn radius(&self, phase: u32) -> u64 {
+        1u64 << phase
+    }
+
+    /// The window layout of one phase: `(window, length)` in order.
+    fn layout(&self, phase: u32) -> Vec<(Window, u64)> {
+        let p = self.radius(phase);
+        let mut v = Vec::with_capacity(7 + self.exchanges as usize + 9);
+        v.push((Window::Announce, 1));
+        v.push((Window::Probe, 2 * p + 2));
+        v.push((Window::Connect, p + 3));
+        match self.mode {
+            MergeControl::Matched => {
+                v.push((Window::Kids, p + 2));
+                for x in 0..self.exchanges {
+                    v.push((Window::Exchange(x), 2 * p + 3));
+                }
+                for c in 0..3u8 {
+                    v.push((Window::MatchCollect(c), p + 2));
+                    v.push((Window::MatchAccept(c), 2 * p + 4));
+                    v.push((Window::MatchStatus(c), p + 3));
+                }
+                v.push((Window::MergeGo, p + 2));
+                v.push((Window::MergeFlood, 6 * p + 6));
+            }
+            MergeControl::Uncontrolled => {
+                v.push((Window::MergeGo, 2 * p + 4));
+                v.push((Window::MergeFlood, self.n + 2 * p + 6));
+            }
+        }
+        v
+    }
+
+    fn phase_len_for(phase: u32, exchanges: u32, mode: MergeControl, n: u64) -> u64 {
+        let p = 1u64 << phase;
+        match mode {
+            MergeControl::Matched => {
+                1 + (2 * p + 2)
+                    + (p + 3)
+                    + (p + 2)
+                    + u64::from(exchanges) * (2 * p + 3)
+                    + 3 * ((p + 2) + (2 * p + 4) + (p + 3))
+                    + (p + 2)
+                    + (6 * p + 6)
+            }
+            MergeControl::Uncontrolled => 1 + (2 * p + 2) + (p + 3) + (2 * p + 4) + (n + 2 * p + 6),
+        }
+    }
+
+    /// Total length of phase `i` in rounds.
+    pub fn phase_len(&self, phase: u32) -> u64 {
+        Self::phase_len_for(phase, self.exchanges, self.mode, self.n)
+    }
+
+    /// Classifies exchange window `x` as ladder / shift-down / recolor.
+    pub fn exchange_kind(&self, x: u32) -> ExchangeKind {
+        let ladder = self.exchanges - 6;
+        if x < ladder {
+            ExchangeKind::Ladder
+        } else {
+            let r = x - ladder;
+            let class = 3 + u64::from(r / 2);
+            if r.is_multiple_of(2) {
+                ExchangeKind::ShiftDown(class)
+            } else {
+                ExchangeKind::Recolor(class)
+            }
+        }
+    }
+
+    /// Locates an absolute round within the Stage B schedule. `None` before
+    /// `t0` or at/after [`Schedule::end`].
+    pub fn locate(&self, round: u64) -> Option<Slot> {
+        if round < self.t0 || round >= self.end() {
+            return None;
+        }
+        // phase_starts is sorted; find the phase containing `round`.
+        let phase = match self.phase_starts.binary_search(&round) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        } as u32;
+        let mut off = round - self.phase_starts[phase as usize];
+        for (window, len) in self.layout(phase) {
+            if off < len {
+                return Some(Slot { phase, window, offset: off, last: off + 1 == len });
+            }
+            off -= len;
+        }
+        unreachable!("phase layout shorter than phase length");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u64, k: u64) -> Params {
+        Params { n, h: 3, k, t0: 100 }
+    }
+
+    #[test]
+    fn choose_k_regimes() {
+        // Small diameter: k = sqrt(n).
+        assert_eq!(choose_k(1024, 10, 1), 32);
+        // Large diameter: k = H.
+        assert_eq!(choose_k(1024, 100, 1), 100);
+        // Bandwidth shrinks the sqrt term: sqrt(1024/4) = 16.
+        assert_eq!(choose_k(1024, 10, 4), 16);
+        // Never below 1.
+        assert_eq!(choose_k(1, 0, 1), 1);
+    }
+
+    #[test]
+    fn phases_count() {
+        assert_eq!(Schedule::new(&params(100, 1), MergeControl::Matched).num_phases(), 0);
+        assert_eq!(Schedule::new(&params(100, 2), MergeControl::Matched).num_phases(), 1);
+        assert_eq!(Schedule::new(&params(100, 8), MergeControl::Matched).num_phases(), 3);
+        assert_eq!(Schedule::new(&params(100, 9), MergeControl::Matched).num_phases(), 4);
+    }
+
+    #[test]
+    fn locate_covers_every_round_exactly_once() {
+        let s = Schedule::new(&params(64, 8), MergeControl::Matched);
+        assert!(s.locate(99).is_none());
+        assert!(s.locate(s.end()).is_none());
+        let mut prev: Option<Slot> = None;
+        for r in s.start()..s.end() {
+            let slot = s.locate(r).expect("round inside stage B must be scheduled");
+            if let Some(p) = prev {
+                // Progress is monotone: same window with +1 offset, or a new window.
+                if p.window == slot.window && p.phase == slot.phase {
+                    assert_eq!(slot.offset, p.offset + 1);
+                } else {
+                    assert_eq!(slot.offset, 0);
+                    assert!(p.last, "window changed before its final round");
+                }
+            } else {
+                assert_eq!(
+                    slot,
+                    Slot { phase: 0, window: Window::Announce, offset: 0, last: true }
+                );
+            }
+            prev = Some(slot);
+        }
+        let last = prev.unwrap();
+        assert_eq!(last.phase, s.num_phases() - 1);
+        assert_eq!(last.window, Window::MergeFlood);
+        assert!(last.last);
+    }
+
+    #[test]
+    fn exchange_kinds_partition() {
+        let s = Schedule::new(&params(1 << 20, 4), MergeControl::Matched);
+        let ladder = s.exchanges() - 6;
+        assert!(matches!(s.exchange_kind(0), ExchangeKind::Ladder));
+        assert_eq!(s.exchange_kind(ladder), ExchangeKind::ShiftDown(3));
+        assert_eq!(s.exchange_kind(ladder + 1), ExchangeKind::Recolor(3));
+        assert_eq!(s.exchange_kind(ladder + 4), ExchangeKind::ShiftDown(5));
+        assert_eq!(s.exchange_kind(ladder + 5), ExchangeKind::Recolor(5));
+    }
+
+    #[test]
+    fn uncontrolled_layout_has_no_matching() {
+        let s = Schedule::new(&params(64, 8), MergeControl::Uncontrolled);
+        for r in s.start()..s.end() {
+            let slot = s.locate(r).unwrap();
+            assert!(
+                !matches!(
+                    slot.window,
+                    Window::Kids
+                        | Window::Exchange(_)
+                        | Window::MatchCollect(_)
+                        | Window::MatchAccept(_)
+                        | Window::MatchStatus(_)
+                ),
+                "uncontrolled schedule contains {:?}",
+                slot.window
+            );
+        }
+        // The flood window is Θ(n).
+        assert!(s.phase_len(0) > 64);
+    }
+
+    #[test]
+    fn phase_budgets_grow_geometrically() {
+        let s = Schedule::new(&params(1 << 16, 64), MergeControl::Matched);
+        for i in 1..s.num_phases() {
+            let a = s.phase_len(i - 1);
+            let b = s.phase_len(i);
+            assert!(b > a && b < 3 * a, "phase budgets should roughly double");
+        }
+        // Total Stage B length is O(k log* n): generous constant check.
+        let total = s.end() - s.start();
+        let bound = 200 * 64 + 500;
+        assert!(total < bound, "stage B budget {total} exceeds {bound}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Structural analysis: BFS layers, eccentricities, diameter, components.
+//!
+//! The paper's bounds are parameterized by the *hop*-diameter `D` (unweighted
+//! diameter); [`diameter_exact`] computes it by running a BFS from every
+//! vertex (fine at experiment scale), and [`diameter_double_sweep`] gives the
+//! classic two-sweep lower bound for larger inputs.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, WeightedGraph};
+
+/// Distance marker for unreachable vertices in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `src` to every vertex (`UNREACHABLE` where no path).
+///
+/// # Panics
+///
+/// Panics if `src >= n`.
+pub fn bfs_distances(g: &WeightedGraph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if dist[u] == UNREACHABLE {
+                dist[u] = dist[v] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src`: the largest finite hop distance from it.
+///
+/// # Panics
+///
+/// Panics if `src >= n`.
+pub fn eccentricity(g: &WeightedGraph, src: NodeId) -> u32 {
+    bfs_distances(g, src).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+}
+
+/// Exact hop-diameter via one BFS per vertex (`O(n * m)`); ignores
+/// unreachable pairs, so on a disconnected graph it is the largest component
+/// diameter. Returns 0 for graphs with fewer than 2 vertices.
+pub fn diameter_exact(g: &WeightedGraph) -> u32 {
+    (0..g.num_nodes()).map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Two-sweep diameter lower bound: BFS from vertex 0 to find a far vertex
+/// `a`, then `ecc(a)`. Exact on trees; never overestimates.
+pub fn diameter_double_sweep(g: &WeightedGraph) -> u32 {
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let d0 = bfs_distances(g, 0);
+    let a = d0
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v)
+        .unwrap_or(0);
+    eccentricity(g, a)
+}
+
+/// Connected-component label of each vertex (labels are the minimum vertex
+/// id of the component), plus the number of components.
+pub fn components(g: &WeightedGraph) -> (Vec<NodeId>, usize) {
+    let n = g.num_nodes();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        count += 1;
+        let mut stack = vec![s];
+        label[s] = s;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in g.neighbors(v) {
+                if label[u] == usize::MAX {
+                    label[u] = s;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    (label, count)
+}
+
+/// BFS tree parents from `src` (`None` for the source and unreachable
+/// vertices), breaking ties toward the smaller neighbor id — the same rule
+/// the distributed BFS uses, so the two trees are comparable in tests.
+///
+/// # Panics
+///
+/// Panics if `src >= n`.
+pub fn bfs_parents(g: &WeightedGraph, src: NodeId) -> Vec<Option<NodeId>> {
+    let n = g.num_nodes();
+    let mut parent = vec![None; n];
+    let mut dist = vec![UNREACHABLE; n];
+    let mut q = VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        let mut nbrs: Vec<NodeId> = g.neighbors(v).iter().map(|&(u, _)| u).collect();
+        nbrs.sort_unstable();
+        for u in nbrs {
+            if dist[u] == UNREACHABLE {
+                dist[u] = dist[v] + 1;
+                parent[u] = Some(v);
+                q.push_back(u);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightRng};
+    use crate::WeightedGraph;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5, &mut WeightRng::new(1));
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = WeightedGraph::new(3, vec![(0, 1, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(eccentricity(&g, 0), 1);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        let mut r = WeightRng::new(3);
+        for n in [2usize, 5, 17, 64] {
+            let g = generators::random_tree(n, &mut r);
+            assert_eq!(diameter_double_sweep(&g), diameter_exact(&g));
+        }
+    }
+
+    #[test]
+    fn double_sweep_never_overestimates() {
+        let mut r = WeightRng::new(5);
+        for _ in 0..10 {
+            let g = generators::random_connected(30, 40, &mut r);
+            assert!(diameter_double_sweep(&g) <= diameter_exact(&g));
+        }
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = WeightedGraph::new(5, vec![(0, 1, 1), (3, 4, 1)]).unwrap();
+        let (label, count) = components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(label, vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bfs_parents_consistent_with_distances() {
+        let g = generators::grid_2d(4, 4, &mut WeightRng::new(9));
+        let d = bfs_distances(&g, 0);
+        let p = bfs_parents(&g, 0);
+        assert_eq!(p[0], None);
+        for v in 1..g.num_nodes() {
+            let pv = p[v].unwrap();
+            assert_eq!(d[v], d[pv] + 1);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// A union–find (disjoint set) structure over `0..n`.
+///
+/// Used by the sequential MST algorithms, by the spanning-tree verifier, and
+/// by the root-local fragment-graph computation inside the distributed
+/// algorithms (the paper's root `rt` merges fragments locally every Borůvka
+/// phase).
+///
+/// ```
+/// use dmst_graphs::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert_eq!(uf.num_sets(), 3);
+/// assert!(uf.same(0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= n` or `b >= n`.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= n` or `b >= n`.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.num_sets(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.find(1), 1);
+    }
+
+    #[test]
+    fn chain_unions_compress() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.same(0, 99));
+        assert!(!uf.union(5, 95));
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+}

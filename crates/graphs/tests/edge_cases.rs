@@ -1,0 +1,100 @@
+//! Edge-case and contract tests for the graph substrate: documented panics
+//! fire, degenerate sizes work, and analysis handles pathological shapes.
+
+use dmst_graphs::{analysis, generators as gen, mst, GraphError, WeightedGraph};
+
+#[test]
+fn documented_panics_fire() {
+    let r = || gen::WeightRng::new(0);
+    macro_rules! panics {
+        ($e:expr) => {
+            assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $e)).is_err());
+        };
+    }
+    panics!(gen::path(0, &mut r()));
+    panics!(gen::cycle(2, &mut r()));
+    panics!(gen::complete(0, &mut r()));
+    panics!(gen::torus_2d(2, 5, &mut r()));
+    panics!(gen::hypercube(0, &mut r()));
+    panics!(gen::circulant(10, &[6], &mut r())); // offset > n/2
+    panics!(gen::barbell(1, 3, &mut r()));
+    panics!(gen::path_of_cliques(0, 3, &mut r()));
+    panics!(gen::broom(0, 3, &mut r()));
+    panics!(gen::snake_torus(2, 2, &mut r()));
+}
+
+#[test]
+fn degenerate_sizes() {
+    let mut r = gen::WeightRng::new(1);
+    assert_eq!(gen::path(1, &mut r).num_edges(), 0);
+    assert_eq!(gen::star(1, &mut r).num_edges(), 0);
+    assert_eq!(gen::complete(2, &mut r).num_edges(), 1);
+    assert_eq!(gen::grid_2d(1, 1, &mut r).num_nodes(), 1);
+    assert_eq!(gen::caterpillar(1, 0, &mut r).num_nodes(), 1);
+    assert_eq!(gen::cycle(3, &mut r).num_edges(), 3);
+}
+
+#[test]
+fn graph_error_display() {
+    let e = WeightedGraph::new(2, vec![(0, 0, 1)]).unwrap_err();
+    assert_eq!(e, GraphError::SelfLoop { edge: 0 });
+    assert!(e.to_string().contains("self-loop"));
+    let e = WeightedGraph::new(1, vec![(0, 1, 1)]).unwrap_err();
+    assert!(e.to_string().contains("n = 1"));
+    let e = WeightedGraph::new(2, vec![(0, 1, 1), (1, 0, 1)]).unwrap_err();
+    assert!(e.to_string().contains("duplicates"));
+}
+
+#[test]
+fn analysis_on_pathological_shapes() {
+    let mut r = gen::WeightRng::new(2);
+    // Star: center eccentricity 1, leaf eccentricity 2.
+    let star = gen::star(50, &mut r);
+    assert_eq!(analysis::eccentricity(&star, 0), 1);
+    assert_eq!(analysis::eccentricity(&star, 7), 2);
+    // Single vertex: everything degenerate but defined.
+    let one = WeightedGraph::new(1, vec![]).unwrap();
+    assert_eq!(analysis::diameter_exact(&one), 0);
+    assert_eq!(analysis::diameter_double_sweep(&one), 0);
+    let (labels, count) = analysis::components(&one);
+    assert_eq!((labels, count), (vec![0], 1));
+    // Empty graph.
+    let zero = WeightedGraph::new(0, vec![]).unwrap();
+    assert_eq!(analysis::diameter_exact(&zero), 0);
+    assert_eq!(analysis::components(&zero).1, 0);
+}
+
+#[test]
+fn mst_weight_overflow_safe() {
+    // Sum of near-max weights exceeds u64: total_weight must be exact in
+    // u128.
+    let edges = vec![(0usize, 1usize, u64::MAX), (1, 2, u64::MAX)];
+    let g = WeightedGraph::new(3, edges).unwrap();
+    let t = mst::kruskal(&g);
+    assert_eq!(t.total_weight, 2 * u128::from(u64::MAX));
+}
+
+#[test]
+fn snake_torus_has_long_mst_but_short_diameter() {
+    let mut r = gen::WeightRng::new(3);
+    let g = gen::snake_torus(8, 8, &mut r);
+    let d = analysis::diameter_exact(&g);
+    assert!(d <= 8, "torus diameter stays Θ(sqrt n), got {d}");
+    // MST path diameter is n-1 = 63: measure on the MST subgraph.
+    let t = mst::kruskal(&g);
+    let tree_edges: Vec<_> = t.edges.iter().map(|&e| {
+        let (u, v) = g.endpoints(e);
+        (u, v, 1)
+    }).collect();
+    let tree = WeightedGraph::new(64, tree_edges).unwrap();
+    assert_eq!(analysis::diameter_exact(&tree), 63);
+}
+
+#[test]
+fn bfs_parents_root_tiebreak_smallest() {
+    // Diamond: 0-1, 0-2, 1-3, 2-3. From 0, vertex 3's parent must be 1
+    // (smallest-id tie-break).
+    let g = WeightedGraph::new(4, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]).unwrap();
+    let p = analysis::bfs_parents(&g, 0);
+    assert_eq!(p[3], Some(1));
+}

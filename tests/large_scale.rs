@@ -1,0 +1,55 @@
+//! Large-scale validation, ignored by default (minutes of CPU in debug
+//! builds). Run explicitly with:
+//!
+//! ```text
+//! cargo test --release --test large_scale -- --ignored
+//! ```
+
+use dmst::baselines::run_pipeline;
+use dmst::core::{run_mst, ElkinConfig};
+use dmst::graphs::{generators as gen, mst};
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn torus_16k_all_checks() {
+    let r = &mut gen::WeightRng::new(0x16);
+    let g = gen::torus_2d(128, 128, r); // n = 16384, D = 128 = sqrt(n)
+    let truth = mst::kruskal(&g);
+    let run = run_mst(&g, &ElkinConfig::default()).expect("run");
+    assert_eq!(run.edges, truth.edges);
+    // Theorem 3.1 with the same constant as tests/bounds.rs.
+    let n = g.num_nodes() as f64;
+    let bound = 60.0 * (128.0 + n.sqrt()) * n.log2().ceil();
+    assert!((run.stats.rounds as f64) < bound);
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn random_16k_bandwidth_sweep() {
+    let r = &mut gen::WeightRng::new(0x17);
+    let g = gen::random_connected(16384, 3 * 16384, r);
+    let truth = mst::kruskal(&g);
+    let mut prev_rounds = u64::MAX;
+    for b in [1u32, 8, 64] {
+        let run = run_mst(&g, &ElkinConfig::with_bandwidth(b)).expect("run");
+        assert_eq!(run.edges, truth.edges, "b = {b}");
+        assert!(run.stats.rounds <= prev_rounds, "rounds must not grow with b");
+        prev_rounds = run.stats.rounds;
+    }
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn snake_8k_pipeline_vs_elkin() {
+    let r = &mut gen::WeightRng::new(0x18);
+    let g = gen::snake_torus(90, 90, r); // n = 8100
+    let truth = mst::kruskal(&g);
+    let elkin = run_mst(&g, &ElkinConfig::default()).expect("elkin");
+    let pipe = run_pipeline(&g).expect("pipeline");
+    assert_eq!(elkin.edges, truth.edges);
+    assert_eq!(pipe.edges, truth.edges);
+    assert!(
+        pipe.stats.messages > elkin.stats.messages,
+        "at n = 8100 the pipeline's n^(3/2) broadcast must dominate"
+    );
+}
