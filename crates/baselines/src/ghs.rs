@@ -410,8 +410,7 @@ impl NodeProgram for GhsNode {
                         self.step_search(ctx);
                     } else {
                         let q = self.order[self.ptr];
-                        self.p.local =
-                            Some(CandKey::new(self.weights[q], self.id, self.nbr_id[q]));
+                        self.p.local = Some(CandKey::new(self.weights[q], self.id, self.nbr_id[q]));
                         self.finish_search(ctx);
                     }
                 }

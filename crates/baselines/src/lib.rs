@@ -127,9 +127,7 @@ where
             0 => {}
             2 => edges.push(e),
             _ => {
-                return Err(BaselineError::BadOutput(format!(
-                    "edge {e} marked at {m} endpoint(s)"
-                )))
+                return Err(BaselineError::BadOutput(format!("edge {e} marked at {m} endpoint(s)")))
             }
         }
     }

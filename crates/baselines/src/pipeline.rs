@@ -142,8 +142,9 @@ impl PipeNode {
     pub fn new(info: NodeInfo<'_>, forest: &ForestRun) -> Self {
         let v = info.id;
         let deg = info.ports.len();
-        let bfs_parent = forest.bfs_parent_of[v]
-            .map(|pv| info.ports.iter().position(|p| p.neighbor == pv).expect("parent is a neighbor"));
+        let bfs_parent = forest.bfs_parent_of[v].map(|pv| {
+            info.ports.iter().position(|p| p.neighbor == pv).expect("parent is a neighbor")
+        });
         let bfs_children: Vec<PortId> = info
             .ports
             .iter()

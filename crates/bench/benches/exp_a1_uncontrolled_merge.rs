@@ -40,10 +40,9 @@ fn main() {
     for (name, g) in cases {
         let n = g.num_nodes();
         for k in [8u64, 32] {
-            for (mode, label) in [
-                (MergeControl::Matched, "matched"),
-                (MergeControl::Uncontrolled, "uncontrolled"),
-            ] {
+            for (mode, label) in
+                [(MergeControl::Matched, "matched"), (MergeControl::Uncontrolled, "uncontrolled")]
+            {
                 let cfg = ElkinConfig {
                     k_override: Some(k),
                     merge_control: mode,

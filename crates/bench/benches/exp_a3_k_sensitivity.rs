@@ -51,10 +51,7 @@ fn main() {
     );
 
     // The right branch must rise steeply (the k log* n cost is real) ...
-    assert!(
-        worst_rounds > 4 * best_rounds,
-        "k >> sqrt(n) should cost several times the optimum"
-    );
+    assert!(worst_rounds > 4 * best_rounds, "k >> sqrt(n) should cost several times the optimum");
     // ... and the paper's choice must stay within a small factor of the
     // sweep optimum despite the flattened left branch.
     assert!(

@@ -38,8 +38,10 @@ fn main() {
             ]);
         }
     }
-    let (lo, hi) = ratios
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
-    println!("\nratio spread: min {} / max {} (flat within a small constant = bound holds)", f3(lo), f3(hi));
+    let (lo, hi) = ratios.iter().fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+    println!(
+        "\nratio spread: min {} / max {} (flat within a small constant = bound holds)",
+        f3(lo),
+        f3(hi)
+    );
 }

@@ -25,8 +25,8 @@ fn main() {
         let m = g.num_edges() as u64;
         let run = run_mst(&g, &ElkinConfig::default()).expect("run");
         let bound = message_bound(n as u64, m);
-        let ann = run.stats.messages_with_tag("b:announce")
-            + run.stats.messages_with_tag("d:announce");
+        let ann =
+            run.stats.messages_with_tag("b:announce") + run.stats.messages_with_tag("d:announce");
         row(&[
             dens.to_string(),
             m.to_string(),

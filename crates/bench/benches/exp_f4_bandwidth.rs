@@ -34,10 +34,7 @@ fn main() {
             run.stats.messages.to_string(),
         ]);
         let base = *first_msgs.get_or_insert(run.stats.messages);
-        assert!(
-            run.stats.messages <= 2 * base,
-            "message count should not grow materially with b"
-        );
+        assert!(run.stats.messages <= 2 * base, "message count should not grow materially with b");
     }
     println!(
         "\nshape check: the ratio column stays flat (the bound tracks the\n\

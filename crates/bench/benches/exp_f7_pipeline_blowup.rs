@@ -66,10 +66,7 @@ fn main() {
         f3(s_bcast),
         f3(s_elkin)
     );
-    assert!(
-        s_bcast > s_elkin + 0.2,
-        "the pipeline's broadcast term should grow distinctly faster"
-    );
+    assert!(s_bcast > s_elkin + 0.2, "the pipeline's broadcast term should grow distinctly faster");
     println!(
         "shape check: the broadcast term's exponent sits near 1.5 and clearly\n\
          above elkin's — the Theta(n^{{3/2}}) cost Elkin's Boruvka-on-top removes."

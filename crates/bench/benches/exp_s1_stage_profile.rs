@@ -18,18 +18,9 @@ fn main() {
 
     let r = &mut gen::WeightRng::new(0x51);
     let cases: Vec<(Workload, ElkinConfig)> = vec![
-        (
-            Workload::new("torus 32x32 (auto k)", gen::torus_2d(32, 32, r)),
-            ElkinConfig::default(),
-        ),
-        (
-            Workload::new("torus 32x32 (k=4)", gen::torus_2d(32, 32, r)),
-            ElkinConfig::with_k(4),
-        ),
-        (
-            Workload::new("torus 32x32 (k=256)", gen::torus_2d(32, 32, r)),
-            ElkinConfig::with_k(256),
-        ),
+        (Workload::new("torus 32x32 (auto k)", gen::torus_2d(32, 32, r)), ElkinConfig::default()),
+        (Workload::new("torus 32x32 (k=4)", gen::torus_2d(32, 32, r)), ElkinConfig::with_k(4)),
+        (Workload::new("torus 32x32 (k=256)", gen::torus_2d(32, 32, r)), ElkinConfig::with_k(256)),
         (
             Workload::new("cliquepath 128x8 (auto)", gen::path_of_cliques(128, 8, r)),
             ElkinConfig::default(),

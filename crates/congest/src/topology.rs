@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert!(matches!(
-            Topology::new(2, &[(1, 1, 1)]),
-            Err(SimError::InvalidTopology(_))
-        ));
+        assert!(matches!(Topology::new(2, &[(1, 1, 1)]), Err(SimError::InvalidTopology(_))));
     }
 
     #[test]

@@ -63,12 +63,8 @@ mod tests {
 
     #[test]
     fn better_prefers_smaller_key() {
-        let mk = |w| Candidate {
-            key: CandKey::new(w, 0, 1),
-            src_coarse: 0,
-            dst_coarse: 1,
-            src_slot: 0,
-        };
+        let mk =
+            |w| Candidate { key: CandKey::new(w, 0, 1), src_coarse: 0, dst_coarse: 1, src_slot: 0 };
         assert_eq!(better(None, None), None);
         assert_eq!(better(Some(mk(5)), None).unwrap().key.weight, 5);
         assert_eq!(better(Some(mk(5)), Some(mk(3))).unwrap().key.weight, 3);

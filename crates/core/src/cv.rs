@@ -177,8 +177,7 @@ mod tests {
     #[test]
     fn chain_reduces_to_three() {
         let n = 200;
-        let parent: Vec<usize> =
-            (0..n).map(|v| if v == 0 { usize::MAX } else { v - 1 }).collect();
+        let parent: Vec<usize> = (0..n).map(|v| if v == 0 { usize::MAX } else { v - 1 }).collect();
         let color = three_color_forest(&parent);
         assert_proper(&parent, &color);
         assert!(color.iter().all(|&c| c < 3));
@@ -187,7 +186,8 @@ mod tests {
     #[test]
     fn stars_and_forests() {
         // Star: root 0, all others children of 0.
-        let parent: Vec<usize> = std::iter::once(usize::MAX).chain(std::iter::repeat(0)).take(50).collect();
+        let parent: Vec<usize> =
+            std::iter::once(usize::MAX).chain(std::iter::repeat(0)).take(50).collect();
         let color = three_color_forest(&parent);
         assert_proper(&parent, &color);
         assert!(color.iter().all(|&c| c < 3));

@@ -39,10 +39,7 @@ pub struct MergeOutcome {
 /// # Panics
 ///
 /// Panics if a candidate references a coarse id not in `coarse_ids`.
-pub fn merge_fragment_graph(
-    coarse_ids: &[u64],
-    best: &HashMap<u64, Candidate>,
-) -> MergeOutcome {
+pub fn merge_fragment_graph(coarse_ids: &[u64], best: &HashMap<u64, Candidate>) -> MergeOutcome {
     let mut ids: Vec<u64> = coarse_ids.to_vec();
     ids.sort_unstable();
     ids.dedup();
@@ -53,9 +50,9 @@ pub fn merge_fragment_graph(
     for &c in &ids {
         if let Some(rec) = best.get(&c) {
             let a = index[&c];
-            let b = *index
-                .get(&rec.dst_coarse)
-                .unwrap_or_else(|| panic!("candidate points at unknown coarse id {}", rec.dst_coarse));
+            let b = *index.get(&rec.dst_coarse).unwrap_or_else(|| {
+                panic!("candidate points at unknown coarse id {}", rec.dst_coarse)
+            });
             // With unique tie-broken keys, the MWOE edge set is acyclic
             // except for mutual pairs, which reference the same physical
             // edge; the union check drops the duplicate.
@@ -83,7 +80,15 @@ mod tests {
     use crate::candidate::CandKey;
 
     fn cand(src: u64, dst: u64, w: u64, slot: u64) -> (u64, Candidate) {
-        (src, Candidate { key: CandKey::new(w, src, dst), src_coarse: src, dst_coarse: dst, src_slot: slot })
+        (
+            src,
+            Candidate {
+                key: CandKey::new(w, src, dst),
+                src_coarse: src,
+                dst_coarse: dst,
+                src_slot: slot,
+            },
+        )
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! only the maximum id's echo ever completes; its initiator then floods
 //! `Elected`.
 
-use congest_sim::{Message, Network, NodeInfo, NodeProgram, PortId, RoundCtx, RunConfig, RunStats, SimError, Topology};
+use congest_sim::{
+    Message, Network, NodeInfo, NodeProgram, PortId, RoundCtx, RunConfig, RunStats, SimError,
+    Topology,
+};
 use dmst_graphs::WeightedGraph;
 
 /// Wire protocol of the election.

@@ -264,10 +264,9 @@ impl Message for Msg {
             | Msg::StatusDown
             | Msg::StatusCross => "b:match",
             Msg::MergePath | Msg::MergeCross | Msg::NewFrag { .. } => "b:merge",
-            Msg::Interval { .. }
-            | Msg::Register { .. }
-            | Msg::RegDone
-            | Msg::InitCoarse { .. } => "c:intervals",
+            Msg::Interval { .. } | Msg::Register { .. } | Msg::RegDone | Msg::InitCoarse { .. } => {
+                "c:intervals"
+            }
             Msg::StartPhase { .. } | Msg::AnnDone | Msg::MwoeGo | Msg::PhaseDone => "d:control",
             Msg::CoarseAnnounce { .. } => "d:announce",
             Msg::FragProbe | Msg::FragMwoeUp { .. } => "d:fragmwoe",
@@ -285,12 +284,8 @@ mod tests {
 
     #[test]
     fn all_messages_fit_one_unit() {
-        let rec = Candidate {
-            key: CandKey::new(1, 2, 3),
-            src_coarse: 4,
-            dst_coarse: 5,
-            src_slot: 6,
-        };
+        let rec =
+            Candidate { key: CandKey::new(1, 2, 3), src_coarse: 4, dst_coarse: 5, src_slot: 6 };
         let samples = [
             Msg::Bfs,
             Msg::SizeUp { size: 1, height: 2 },

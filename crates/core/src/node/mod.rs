@@ -225,7 +225,12 @@ pub struct Milestones {
 
 impl Default for Milestones {
     fn default() -> Self {
-        Self { entered_b: u64::MAX, entered_cd: u64::MAX, entered_d: u64::MAX, finished_at: u64::MAX }
+        Self {
+            entered_b: u64::MAX,
+            entered_cd: u64::MAX,
+            entered_d: u64::MAX,
+            finished_at: u64::MAX,
+        }
     }
 }
 

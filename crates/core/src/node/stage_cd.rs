@@ -299,20 +299,23 @@ impl ElkinNode {
         }
 
         // (g) Phase barrier / termination.
-        if self.d.new_coarse_seen && !self.done_seen && !self.d.phase_done_sent
-            && self.d.phase_done_children == self.bfs_children.len() {
-                self.d.phase_done_sent = true;
-                if let Some(parent) = self.bfs_parent {
-                    self.send_cd(ctx, parent, Msg::PhaseDone);
-                    self.d = DScratch { phase: self.d.phase + 1, ..DScratch::default() };
-                } else {
-                    let next = self.d.phase + 1;
-                    self.d = DScratch { phase: next, started: true, ..DScratch::default() };
-                    for &q in &self.bfs_children.clone() {
-                        self.send_cd(ctx, q, Msg::StartPhase { j: next });
-                    }
+        if self.d.new_coarse_seen
+            && !self.done_seen
+            && !self.d.phase_done_sent
+            && self.d.phase_done_children == self.bfs_children.len()
+        {
+            self.d.phase_done_sent = true;
+            if let Some(parent) = self.bfs_parent {
+                self.send_cd(ctx, parent, Msg::PhaseDone);
+                self.d = DScratch { phase: self.d.phase + 1, ..DScratch::default() };
+            } else {
+                let next = self.d.phase + 1;
+                self.d = DScratch { phase: next, started: true, ..DScratch::default() };
+                for &q in &self.bfs_children.clone() {
+                    self.send_cd(ctx, q, Msg::StartPhase { j: next });
                 }
             }
+        }
 
         // Quiesce only when everything queued has been flushed.
         if self.done_seen
@@ -450,7 +453,13 @@ impl ElkinNode {
 
     /// A base-fragment root received its phase answer: broadcast the new
     /// coarse id, mark the chosen edge, and run my own update.
-    fn cd_consume_assign(&mut self, ctx: &mut RoundCtx<'_, Msg>, nc: u64, chosen: bool, done: bool) {
+    fn cd_consume_assign(
+        &mut self,
+        ctx: &mut RoundCtx<'_, Msg>,
+        nc: u64,
+        chosen: bool,
+        done: bool,
+    ) {
         debug_assert!(self.is_frag_root());
         if chosen {
             match self.d.sel {

@@ -104,10 +104,7 @@ pub struct ForestRun {
     pub bfs_height: u64,
 }
 
-fn network_for(
-    g: &WeightedGraph,
-    cfg: &ElkinConfig,
-) -> Result<Network<ElkinNode>, RunError> {
+fn network_for(g: &WeightedGraph, cfg: &ElkinConfig) -> Result<Network<ElkinNode>, RunError> {
     if cfg.root >= g.num_nodes().max(1) {
         return Err(RunError::InvalidRoot { root: cfg.root, n: g.num_nodes() });
     }

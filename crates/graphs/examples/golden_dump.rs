@@ -1,0 +1,29 @@
+//! Regenerates the golden values pinned by `tests/determinism.rs`.
+//!
+//! Run `cargo run -p dmst-graphs --example golden_dump` after any
+//! *deliberate* change to the RNG or the generators, and update the test
+//! constants from its output. Accidental drift (platform, toolchain, or
+//! refactor) is exactly what the pinned tests exist to catch.
+
+use dmst_graphs::generators as gen;
+
+fn main() {
+    let mut r = gen::WeightRng::new(42);
+    let weights: Vec<u64> = (0..8).map(|_| r.weight()).collect();
+    println!("weights(seed 42) = {weights:?};");
+    let mut r = gen::WeightRng::new(42);
+    let indices: Vec<usize> = (0..8).map(|_| r.index(1000)).collect();
+    println!("indices(seed 42, bound 1000) = {indices:?};");
+
+    let tree = gen::random_tree(6, &mut gen::WeightRng::new(3));
+    println!("random_tree(6, seed 3) = {:?};", tree.edges());
+
+    let g = gen::random_connected(8, 4, &mut gen::WeightRng::new(7));
+    println!("random_connected(8, 4, seed 7) = {:?};", g.edges());
+
+    let p = gen::path(4, &mut gen::WeightRng::new(0));
+    println!("path(4, seed 0) = {:?};", p.edges());
+
+    let s = gen::snake_torus(3, 3, &mut gen::WeightRng::new(5));
+    println!("snake_torus(3, 3, seed 5) = {:?};", s.edges());
+}

@@ -345,7 +345,8 @@ pub fn snake_torus(rows: usize, cols: usize, rng: &mut WeightRng) -> WeightedGra
     let mut prev: Option<usize> = None;
     let mut rank = 0u64;
     for r in 0..rows {
-        let cs: Vec<usize> = if r % 2 == 0 { (0..cols).collect() } else { (0..cols).rev().collect() };
+        let cs: Vec<usize> =
+            if r % 2 == 0 { (0..cols).collect() } else { (0..cols).rev().collect() };
         for c in cs {
             if let Some(p) = prev {
                 snake_rank.insert((p.min(id(r, c)), p.max(id(r, c))), rank);

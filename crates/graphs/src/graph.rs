@@ -79,7 +79,9 @@ impl fmt::Display for GraphError {
                 write!(f, "edge {edge} references vertex {endpoint} but n = {n}")
             }
             GraphError::SelfLoop { edge } => write!(f, "edge {edge} is a self-loop"),
-            GraphError::DuplicateEdge { edge } => write!(f, "edge {edge} duplicates an earlier edge"),
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "edge {edge} duplicates an earlier edge")
+            }
         }
     }
 }

@@ -112,10 +112,8 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<WeightedGraph, IoError> {
                 edges.reserve(m as usize);
             }
             Some("e") | Some("a") => {
-                let (n, _) = header.ok_or(IoError::Parse {
-                    line: lineno,
-                    msg: "edge before the p line".into(),
-                })?;
+                let (n, _) = header
+                    .ok_or(IoError::Parse { line: lineno, msg: "edge before the p line".into() })?;
                 let u = parse_num(parts.next(), lineno, "endpoint")? as usize;
                 let v = parse_num(parts.next(), lineno, "endpoint")? as usize;
                 let w = parse_num(parts.next(), lineno, "weight")?;

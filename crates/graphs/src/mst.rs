@@ -137,11 +137,9 @@ mod tests {
 
     #[test]
     fn textbook_example() {
-        let g = WeightedGraph::new(
-            4,
-            vec![(0, 1, 10), (1, 2, 6), (2, 3, 4), (3, 0, 5), (0, 2, 11)],
-        )
-        .unwrap();
+        let g =
+            WeightedGraph::new(4, vec![(0, 1, 10), (1, 2, 6), (2, 3, 4), (3, 0, 5), (0, 2, 11)])
+                .unwrap();
         let t = all_three(&g);
         assert_eq!(t.edges, vec![1, 2, 3]);
         assert_eq!(t.total_weight, 15);

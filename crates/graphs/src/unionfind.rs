@@ -83,6 +83,21 @@ impl UnionFind {
     pub fn num_sets(&self) -> usize {
         self.sets
     }
+
+    /// Number of parent hops from `x` to its root, *without* compressing
+    /// (diagnostic; lets tests observe path halving through the public API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn depth(&self, mut x: usize) -> usize {
+        let mut hops = 0;
+        while self.parent[x] != x {
+            x = self.parent[x];
+            hops += 1;
+        }
+        hops
+    }
 }
 
 #[cfg(test)]

@@ -82,10 +82,14 @@ fn snake_torus_has_long_mst_but_short_diameter() {
     assert!(d <= 8, "torus diameter stays Θ(sqrt n), got {d}");
     // MST path diameter is n-1 = 63: measure on the MST subgraph.
     let t = mst::kruskal(&g);
-    let tree_edges: Vec<_> = t.edges.iter().map(|&e| {
-        let (u, v) = g.endpoints(e);
-        (u, v, 1)
-    }).collect();
+    let tree_edges: Vec<_> = t
+        .edges
+        .iter()
+        .map(|&e| {
+            let (u, v) = g.endpoints(e);
+            (u, v, 1)
+        })
+        .collect();
     let tree = WeightedGraph::new(64, tree_edges).unwrap();
     assert_eq!(analysis::diameter_exact(&tree), 63);
 }

@@ -1,0 +1,114 @@
+//! Edge-case tests for `UnionFind`: singletons, self-unions, idempotence,
+//! path compression (observable via `depth`), and adversarial union orders.
+
+use dmst_graphs::UnionFind;
+
+#[test]
+fn singleton_structure() {
+    let mut uf = UnionFind::new(1);
+    assert_eq!(uf.len(), 1);
+    assert!(!uf.is_empty());
+    assert_eq!(uf.num_sets(), 1);
+    assert_eq!(uf.find(0), 0);
+    assert_eq!(uf.depth(0), 0);
+    assert!(uf.same(0, 0));
+    // Self-union is a no-op, not an error.
+    assert!(!uf.union(0, 0));
+    assert_eq!(uf.num_sets(), 1);
+}
+
+#[test]
+fn self_union_never_changes_set_count() {
+    let mut uf = UnionFind::new(10);
+    for x in 0..10 {
+        assert!(!uf.union(x, x));
+    }
+    assert_eq!(uf.num_sets(), 10);
+}
+
+#[test]
+fn union_is_idempotent_and_symmetric() {
+    let mut uf = UnionFind::new(4);
+    assert!(uf.union(0, 1));
+    assert!(!uf.union(1, 0));
+    assert!(!uf.union(0, 1));
+    assert_eq!(uf.num_sets(), 3);
+    assert!(uf.same(1, 0) && uf.same(0, 1));
+}
+
+#[test]
+fn full_path_compression_flattens_chains() {
+    // Build the deepest tree union-by-rank permits: repeatedly join equal
+    // -rank trees so ranks grow to log2(n).
+    let n = 1 << 10;
+    let mut uf = UnionFind::new(n);
+    let mut stride = 1;
+    while stride < n {
+        for base in (0..n).step_by(2 * stride) {
+            uf.union(base, base + stride);
+        }
+        stride *= 2;
+    }
+    assert_eq!(uf.num_sets(), 1);
+    let deepest = (0..n).max_by_key(|&x| uf.depth(x)).unwrap();
+    assert!(uf.depth(deepest) >= 2, "construction failed to create depth");
+    // Path halving: every find at least halves the path, so O(log depth)
+    // repeated finds drive the queried element to depth <= 1.
+    let root = uf.find(deepest);
+    for _ in 0..16 {
+        uf.find(deepest);
+    }
+    assert!(uf.depth(deepest) <= 1, "path not compressed: depth {}", uf.depth(deepest));
+    assert_eq!(uf.find(deepest), root, "compression must not change the root");
+    assert_eq!(uf.num_sets(), 1, "compression must not change set structure");
+}
+
+#[test]
+fn compression_preserves_all_memberships() {
+    let n = 64;
+    let mut uf = UnionFind::new(n);
+    for i in 0..n - 1 {
+        uf.union(i, i + 1);
+    }
+    // Record membership before heavy compression, re-check after.
+    let root = uf.find(0);
+    for x in 0..n {
+        assert_eq!(uf.find(x), root);
+    }
+    for x in 0..n {
+        assert!(uf.depth(x) <= 2, "element {x} left deep after global find pass");
+    }
+}
+
+#[test]
+fn adversarial_union_orders_agree_on_components() {
+    // Same edge set, three different orders: identical partition.
+    let edges = [(0usize, 1usize), (2, 3), (4, 5), (1, 2), (5, 6), (8, 9)];
+    let mut orders = vec![edges.to_vec(), edges.iter().rev().copied().collect::<Vec<_>>()];
+    let mut interleaved = edges.to_vec();
+    interleaved.swap(0, 3);
+    interleaved.swap(1, 4);
+    orders.push(interleaved);
+    let mut partitions = Vec::new();
+    for order in orders {
+        let mut uf = UnionFind::new(10);
+        for (a, b) in order {
+            uf.union(a, b);
+        }
+        let repr: Vec<usize> = (0..10).map(|x| uf.find(x)).collect();
+        let canon: Vec<Vec<usize>> =
+            (0..10).map(|x| (0..10).filter(|&y| repr[y] == repr[x]).collect()).collect();
+        partitions.push((uf.num_sets(), canon));
+    }
+    assert_eq!(partitions[0], partitions[1]);
+    assert_eq!(partitions[0], partitions[2]);
+    assert_eq!(partitions[0].0, 4); // {0..=3}, {4..=6}, {7}, {8,9}
+}
+
+#[test]
+fn empty_structure_is_consistent() {
+    let uf = UnionFind::new(0);
+    assert!(uf.is_empty());
+    assert_eq!(uf.len(), 0);
+    assert_eq!(uf.num_sets(), 0);
+}

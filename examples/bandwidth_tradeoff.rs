@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = generators::WeightRng::new(7);
     let g = generators::torus_2d(24, 24, &mut rng); // n = 576, D = 24
     let d = analysis::diameter_exact(&g);
-    println!(
-        "torus 24x24: n = {}, m = {}, D = {d}",
-        g.num_nodes(),
-        g.num_edges()
-    );
+    println!("torus 24x24: n = {}, m = {}, D = {d}", g.num_nodes(), g.num_edges());
     println!("\n{:>4} {:>8} {:>10} {:>10} {:>6}", "b", "rounds", "messages", "words", "k");
 
     let mut base_rounds = None;

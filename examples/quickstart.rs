@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run Elkin's deterministic distributed MST algorithm in standard
     // CONGEST (b = 1).
     let run = run_mst(&g, &ElkinConfig::default())?;
-    println!(
-        "distributed MST: {} edges, total weight {}",
-        run.edges.len(),
-        run.total_weight
-    );
+    println!("distributed MST: {} edges, total weight {}", run.edges.len(), run.total_weight);
     println!(
         "cost: {} rounds, {} messages ({} words); chosen k = {}",
         run.stats.rounds, run.stats.messages, run.stats.words, run.k

@@ -40,3 +40,5 @@ pub use congest_sim as congest;
 pub use dmst_baselines as baselines;
 pub use dmst_core as core;
 pub use dmst_graphs as graphs;
+
+pub mod testkit;

@@ -18,7 +18,8 @@ fn assert_bounds(g: &WeightedGraph, b: u32, label: &str) {
     let n = g.num_nodes() as u64;
     let m = g.num_edges() as u64;
     let d = u64::from(analysis::diameter_exact(g)).max(1);
-    let run = run_mst(g, &ElkinConfig::with_bandwidth(b)).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let run =
+        run_mst(g, &ElkinConfig::with_bandwidth(b)).unwrap_or_else(|e| panic!("{label}: {e}"));
 
     let lg = ceil_log2(n.max(2)) as f64;
     let ls = log_star(n.max(2)) as f64;

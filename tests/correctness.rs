@@ -1,47 +1,17 @@
 //! Cross-crate integration tests: every distributed algorithm in the
 //! workspace must produce the canonical MST on every graph family, under
-//! every configuration knob.
+//! every configuration knob. All checks go through the shared
+//! `dmst::testkit` conformance harness.
 
-use dmst::baselines::{run_ghs, run_pipeline};
-use dmst::core::{run_mst, ElkinConfig, MergeControl};
-use dmst::graphs::{generators as gen, mst, WeightedGraph};
-
-/// All three distributed algorithms against Kruskal.
-fn check_all(g: &WeightedGraph, label: &str) {
-    let truth = mst::kruskal(g);
-    let elkin = run_mst(g, &ElkinConfig::default()).unwrap_or_else(|e| panic!("elkin {label}: {e}"));
-    assert_eq!(elkin.edges, truth.edges, "elkin wrong on {label}");
-    assert_eq!(elkin.total_weight, truth.total_weight);
-    let ghs = run_ghs(g).unwrap_or_else(|e| panic!("ghs {label}: {e}"));
-    assert_eq!(ghs.edges, truth.edges, "ghs wrong on {label}");
-    let pipe = run_pipeline(g).unwrap_or_else(|e| panic!("pipeline {label}: {e}"));
-    assert_eq!(pipe.edges, truth.edges, "pipeline wrong on {label}");
-}
+use dmst::core::ElkinConfig;
+use dmst::graphs::{generators as gen, WeightedGraph};
+use dmst::testkit::{self, Algorithm};
 
 #[test]
 fn all_algorithms_all_families() {
     let r = &mut gen::WeightRng::new(0xC0FFEE);
-    let cases: Vec<(&str, WeightedGraph)> = vec![
-        ("path", gen::path(48, r)),
-        ("cycle", gen::cycle(47, r)),
-        ("complete", gen::complete(20, r)),
-        ("star", gen::star(33, r)),
-        ("binary-tree", gen::binary_tree(40, r)),
-        ("random-tree", gen::random_tree(50, r)),
-        ("grid", gen::grid_2d(6, 8, r)),
-        ("torus", gen::torus_2d(5, 8, r)),
-        ("hypercube", gen::hypercube(5, r)),
-        ("circulant", gen::circulant(40, &[9, 17], r)),
-        ("random", gen::random_connected(72, 180, r)),
-        ("barbell", gen::barbell(7, 9, r)),
-        ("lollipop", gen::lollipop(9, 12, r)),
-        ("cliquepath", gen::path_of_cliques(9, 4, r)),
-        ("caterpillar", gen::caterpillar(10, 3, r)),
-        ("broom", gen::broom(4, 7, r)),
-        ("snake", gen::snake_torus(6, 6, r)),
-    ];
-    for (label, g) in cases {
-        check_all(&g, label);
+    for (label, g) in testkit::family_matrix(r) {
+        testkit::assert_all_match(&g, label);
     }
 }
 
@@ -54,7 +24,7 @@ fn equal_weights_everywhere() {
         .map(|&(u, v, _)| (u, v, 42))
         .collect();
     let g = WeightedGraph::new(35, edges).unwrap();
-    check_all(&g, "grid-equal-weights");
+    testkit::assert_all_match(&g, "grid-equal-weights");
 }
 
 #[test]
@@ -67,7 +37,7 @@ fn extreme_weights() {
         .map(|(i, &(u, v, _))| (u, v, u64::MAX - i as u64))
         .collect();
     let g = WeightedGraph::new(20, edges).unwrap();
-    check_all(&g, "cycle-huge-weights");
+    testkit::assert_all_match(&g, "cycle-huge-weights");
 }
 
 #[test]
@@ -76,7 +46,7 @@ fn many_seeds_random_graphs() {
         let r = &mut gen::WeightRng::new(seed);
         let n = 24 + (seed as usize * 7) % 60;
         let g = gen::random_connected(n, 2 * n, r);
-        check_all(&g, &format!("random seed={seed} n={n}"));
+        testkit::assert_all_match(&g, &format!("random seed={seed} n={n}"));
     }
 }
 
@@ -84,36 +54,28 @@ fn many_seeds_random_graphs() {
 fn elkin_every_knob() {
     let r = &mut gen::WeightRng::new(9);
     let g = gen::random_connected(64, 160, r);
-    let truth = mst::kruskal(&g);
-    for b in [1u32, 2, 3, 8] {
-        for k in [None, Some(1), Some(5), Some(16), Some(200)] {
-            for mode in [MergeControl::Matched, MergeControl::Uncontrolled] {
-                for root in [0usize, 17, 63] {
-                    let cfg = ElkinConfig {
-                        bandwidth: b,
-                        k_override: k,
-                        root,
-                        merge_control: mode,
-                        ..ElkinConfig::default()
-                    };
-                    let run = run_mst(&g, &cfg).unwrap_or_else(|e| {
-                        panic!("b={b} k={k:?} mode={mode:?} root={root}: {e}")
-                    });
-                    assert_eq!(
-                        run.edges, truth.edges,
-                        "wrong MST at b={b} k={k:?} mode={mode:?} root={root}"
-                    );
-                }
-            }
-        }
+    let cfgs = testkit::config_matrix(g.num_nodes());
+    assert!(cfgs.len() >= 100, "knob matrix unexpectedly small: {}", cfgs.len());
+    for cfg in cfgs {
+        let algo = Algorithm::Elkin(cfg);
+        testkit::assert_matches_oracle(&algo, &g, &format!("{cfg:?}"));
+    }
+}
+
+#[test]
+fn forest_invariants_across_k() {
+    let r = &mut gen::WeightRng::new(21);
+    let g = gen::random_connected(80, 240, r);
+    for k in [1u64, 2, 8, 32, 200] {
+        testkit::assert_forest_invariants(&g, k, &format!("random-80 k={k}"));
     }
 }
 
 #[test]
 fn determinism_end_to_end() {
     let g = gen::torus_2d(6, 6, &mut gen::WeightRng::new(4));
-    let a = run_mst(&g, &ElkinConfig::default()).unwrap();
-    let b = run_mst(&g, &ElkinConfig::default()).unwrap();
+    let a = dmst::core::run_mst(&g, &ElkinConfig::default()).unwrap();
+    let b = dmst::core::run_mst(&g, &ElkinConfig::default()).unwrap();
     assert_eq!(a.edges, b.edges);
     assert_eq!(a.stats, b.stats, "two identical runs must have identical statistics");
 }
@@ -121,8 +83,10 @@ fn determinism_end_to_end() {
 #[test]
 fn disconnected_and_invalid_inputs() {
     let g = WeightedGraph::new(4, vec![(0, 1, 1), (2, 3, 1)]).unwrap();
-    assert!(run_mst(&g, &ElkinConfig::default()).is_err());
+    for algo in Algorithm::all() {
+        assert!(algo.run(&g).is_err(), "{} accepted a disconnected graph", algo.name());
+    }
     let g2 = gen::path(3, &mut gen::WeightRng::new(0));
     let cfg = ElkinConfig { root: 99, ..ElkinConfig::default() };
-    assert!(run_mst(&g2, &cfg).is_err());
+    assert!(Algorithm::Elkin(cfg).run(&g2).is_err());
 }

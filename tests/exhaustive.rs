@@ -1,79 +1,31 @@
-//! Exhaustive small-graph testing: run the full distributed algorithm on
+//! Exhaustive small-graph testing: run every distributed algorithm on
 //! *every* connected graph on 4 and 5 vertices (all edge subsets of K4 and
-//! K5 that span), under three adversarial weight patterns each. Any
-//! protocol race that depends on structure rather than scale tends to show
-//! up here first.
+//! K5 that span), under three adversarial weight patterns each, via the
+//! shared `dmst::testkit` enumerator. Any protocol race that depends on
+//! structure rather than scale tends to show up here first.
 
-use dmst::core::{run_mst, ElkinConfig};
-use dmst::graphs::{mst, WeightedGraph};
-
-fn all_pairs(n: usize) -> Vec<(usize, usize)> {
-    let mut v = Vec::new();
-    for a in 0..n {
-        for b in (a + 1)..n {
-            v.push((a, b));
-        }
-    }
-    v
-}
-
-/// Weight patterns chosen to stress tie-breaking and ordering: ascending,
-/// descending, and all-equal.
-fn weightings(m: usize) -> Vec<Vec<u64>> {
-    vec![
-        (1..=m as u64).collect(),
-        (1..=m as u64).rev().collect(),
-        vec![7; m],
-    ]
-}
-
-fn exhaustive_for(n: usize) -> (u32, u32) {
-    let pairs = all_pairs(n);
-    let full = pairs.len();
-    let mut graphs = 0;
-    let mut runs = 0;
-    for mask in 1u32..(1 << full) {
-        let chosen: Vec<(usize, usize)> =
-            pairs.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &p)| p).collect();
-        if chosen.len() < n - 1 {
-            continue;
-        }
-        // Connectivity pre-check via union-find.
-        let mut uf = dmst::graphs::UnionFind::new(n);
-        for &(a, b) in &chosen {
-            uf.union(a, b);
-        }
-        if uf.num_sets() != 1 {
-            continue;
-        }
-        graphs += 1;
-        for weights in weightings(chosen.len()) {
-            let edges: Vec<(usize, usize, u64)> = chosen
-                .iter()
-                .zip(&weights)
-                .map(|(&(a, b), &w)| (a, b, w))
-                .collect();
-            let g = WeightedGraph::new(n, edges).expect("simple by construction");
-            let truth = mst::kruskal(&g);
-            let run = run_mst(&g, &ElkinConfig::default())
-                .unwrap_or_else(|e| panic!("n={n} mask={mask:#b}: {e}"));
-            assert_eq!(run.edges, truth.edges, "n={n} mask={mask:#b} weights={weights:?}");
-            runs += 1;
-        }
-    }
-    (graphs, runs)
-}
+use dmst::testkit::{self, Algorithm, WeightPattern};
 
 #[test]
 fn every_connected_graph_on_4_vertices() {
-    let (graphs, runs) = exhaustive_for(4);
+    let (graphs, runs) = testkit::for_each_connected_graph(4, |g, label, _| {
+        testkit::assert_all_match(g, label);
+    });
     assert_eq!(graphs, 38, "there are 38 connected labeled graphs on 4 vertices");
     assert_eq!(runs, 38 * 3);
 }
 
 #[test]
 fn every_connected_graph_on_5_vertices() {
-    let (graphs, runs) = exhaustive_for(5);
+    // All three algorithms on every weighting is ~6500 distributed runs;
+    // keep the 5-vertex sweep to Elkin (the paper's algorithm) plus a GHS
+    // cross-check on the all-equal (pure tie-breaking) pattern to stay fast.
+    let (graphs, runs) = testkit::for_each_connected_graph(5, |g, label, pattern| {
+        testkit::assert_matches_oracle(&Algorithm::Elkin(Default::default()), g, label);
+        if pattern == WeightPattern::Equal {
+            testkit::assert_matches_oracle(&Algorithm::Ghs, g, label);
+        }
+    });
     assert_eq!(graphs, 728, "there are 728 connected labeled graphs on 5 vertices");
     assert_eq!(runs, 728 * 3);
 }

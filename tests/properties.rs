@@ -15,11 +15,7 @@ fn connected_graph() -> impl Strategy<Value = WeightedGraph> {
         let g = gen::random_connected(n, extra, r);
         // Re-draw weights in a small range so collisions are common and the
         // tie-breaking path is exercised hard.
-        let edges = g
-            .edges()
-            .iter()
-            .map(|&(u, v, w)| (u, v, w % wmax + 1))
-            .collect();
+        let edges = g.edges().iter().map(|&(u, v, w)| (u, v, w % wmax + 1)).collect();
         WeightedGraph::new(n, edges).expect("structure unchanged")
     })
 }

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the small API surface the workspace's `wallclock` bench uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warmup, then
+//! `sample_size` timed samples, and prints min/mean/max per iteration —
+//! enough to guard against order-of-magnitude regressions while staying
+//! dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup cost is amortized; only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch freely.
+    SmallInput,
+    /// Large inputs; one batch per sample.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Times closures for one benchmark id.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.iters_per_sample;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / iters as u32);
+    }
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: a warmup sample, then `sample_size` timed
+    /// samples, printing min/mean/max per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warmup (also lets the closure pay any lazy-init cost once).
+        let mut warm = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut warm);
+
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let n = b.samples.len().max(1) as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        let mean = b.samples.iter().sum::<Duration>() / n;
+        println!("{id:<40} min {min:>12.3?}   mean {mean:>12.3?}   max {max:>12.3?}");
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_samples() {
+        let mut total = 0u64;
+        Criterion::default().sample_size(3).bench_function("noop", |b| {
+            b.iter(|| {
+                total += 1;
+            })
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut made = 0u32;
+        Criterion::default().sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(made, 3);
+    }
+
+    criterion_group! {
+        name = group_long_form;
+        config = Criterion::default().sample_size(2);
+        targets = target_a, target_b
+    }
+    criterion_group!(group_short_form, target_a);
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("a", |b| b.iter(|| 1 + 1));
+    }
+    fn target_b(c: &mut Criterion) {
+        c.bench_function("b", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn groups_compose() {
+        group_long_form();
+        group_short_form();
+    }
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, `name in
+//!   strategy` parameters, and `Result`-style bodies (`prop_assert*!`,
+//!   `prop_assume!`, `return Ok(())`);
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples, `any::<T>()`, and [`collection::vec`].
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test stream (derived from the test's module path, name, and case
+//! index), and failing cases are **not shrunk** — the panic message reports
+//! the case index so a failure is still exactly reproducible by rerunning
+//! the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case driver types used by the [`proptest!`](crate::proptest) macro expansion.
+
+    /// Configuration for a property test (field-compatible subset of
+    /// upstream `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum number of rejected (`prop_assume!`) cases tolerated
+        /// before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!`; it does not count.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure with the given message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// Constructs a rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Deterministic SplitMix64 stream for value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a generator from a test identifier and case index, so
+        /// every test gets its own reproducible stream.
+        pub fn deterministic(test_id: &str, case: u32) -> Self {
+            // FNV-1a over the id, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h ^ ((u64::from(case) << 32) | u64::from(case)) }
+        }
+
+        /// Next word of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `0..span` (`span > 0`).
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "cannot sample an empty range");
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream `prop_map`; no
+        /// shrinking, so this is a plain map).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical "whole domain" strategy (upstream
+    /// `Arbitrary`, reached through [`any`]).
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy over the whole domain of `T` (see [`any`]).
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob-import surface.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Fails the current case unless the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "{}\n  both: {:?}", format!($($fmt)*), lhs);
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: splits the item list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse! {
+                cfg = ($cfg);
+                name = $name;
+                acc = [];
+                rest = [$($params)*];
+                body = $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: parses `name in strategy`
+/// parameters, then emits the case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // Accumulate "param in strategy" pairs.
+    (cfg = ($cfg:expr); name = $name:ident; acc = [$($acc:tt)*];
+     rest = [$param:pat in $strat:expr]; body = $body:block) => {
+        $crate::__proptest_parse! {
+            cfg = ($cfg); name = $name; acc = [$($acc)* ($param, $strat)];
+            rest = []; body = $body
+        }
+    };
+    (cfg = ($cfg:expr); name = $name:ident; acc = [$($acc:tt)*];
+     rest = [$param:pat in $strat:expr, $($rest:tt)*]; body = $body:block) => {
+        $crate::__proptest_parse! {
+            cfg = ($cfg); name = $name; acc = [$($acc)* ($param, $strat)];
+            rest = [$($rest)*]; body = $body
+        }
+    };
+    // All parameters parsed: emit the runner loop.
+    (cfg = ($cfg:expr); name = $name:ident; acc = [$(($param:pat, $strat:expr))*];
+     rest = []; body = $body:block) => {
+        let config: $crate::test_runner::Config = $cfg;
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut iteration: u32 = 0;
+        while passed < config.cases {
+            iteration += 1;
+            if rejected > config.max_global_rejects {
+                panic!(
+                    "proptest {}: too many rejected cases ({} rejects for {} passes)",
+                    stringify!($name),
+                    rejected,
+                    passed
+                );
+            }
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+                iteration,
+            );
+            $(let $param = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+            let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            match outcome {
+                ::core::result::Result::Ok(()) => passed += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                    rejected += 1;
+                }
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {} (deterministic, rerun reproduces):\n{}",
+                        stringify!($name),
+                        iteration,
+                        msg
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("x", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Ranges, tuples, maps, vec and assume all work together.
+        #[test]
+        fn machinery_works(
+            x in 5u64..10,
+            (a, b) in (0usize..4, 0usize..4),
+            v in collection::vec(1u32..3, 2..6),
+            flip in any::<bool>(),
+            y in (0u8..3).prop_map(|b| i32::from(b) * 10),
+        ) {
+            prop_assume!(a != 3);
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(a < 4 && b < 4);
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e == 1 || e == 2));
+            let _ = flip;
+            prop_assert_eq!(y % 10, 0);
+            prop_assert_ne!(y, 35);
+        }
+    }
+
+    proptest! {
+        /// Default config path compiles and runs.
+        #[test]
+        fn default_config(x in 0u32..100) {
+            if x > 1000 { return Ok(()); }
+            prop_assert!(x < 100);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+        // No #[test] attribute: expands to a plain fn the harness test below
+        // can call and expect to panic.
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        always_fails();
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the API surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! ranges.
+//!
+//! The generator is SplitMix64 — tiny, fast, and *fully deterministic across
+//! platforms*, which is the property the workspace actually relies on (the
+//! golden-value determinism tests pin its output). It is **not** a
+//! cryptographic generator and does not match upstream `StdRng`'s stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed; equal seeds give equal
+    /// streams on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring the subset of `rand::Rng` the workspace uses.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can be sampled uniformly. Implemented for `Range` and
+/// `RangeInclusive` over the unsigned integer types used in this workspace.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a word uniformly onto `0..span` (`span > 0`) by widening
+/// multiplication — deterministic and bias-free enough for test workloads.
+fn index_below(word: u64, span: u64) -> u64 {
+    ((u128::from(word) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + index_below(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                match span.checked_add(1) {
+                    Some(s) => start + index_below(rng.next_u64(), s) as $t,
+                    // Only reachable for the full 64-bit range.
+                    None => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for upstream `StdRng`).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = r.gen_range(1u64..=5);
+            assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn spread_hits_all_buckets() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut hits = [0u32; 8];
+        for _ in 0..4000 {
+            hits[r.gen_range(0usize..8)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 0), "{hits:?}");
+    }
+}
