@@ -13,7 +13,7 @@
 //! stays within a small factor of it (asserted).
 
 use dmst_bench::{banner, f3, header, row, Workload};
-use dmst_core::{run_mst, ElkinConfig};
+use dmst_core::{run_mst, ElkinConfig, ScheduleMode};
 use dmst_graphs::generators as gen;
 
 fn main() {
@@ -28,15 +28,26 @@ fn main() {
     let d = u64::from(w.diameter);
     println!("workload: {}, n = {n}, D = {d}\n", w.name);
 
-    header(&["k", "rounds", "(D+k+n/k)lg n", "ratio", "messages"]);
+    header(&["k", "rounds", "adaptive", "(D+k+n/k)lg n", "ratio", "messages"]);
     let mut curve = Vec::new();
     for k in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
         let run = run_mst(&w.graph, &ElkinConfig::with_k(k)).expect("run");
+        let ada =
+            run_mst(&w.graph, &ElkinConfig::with_k(k).with_schedule_mode(ScheduleMode::Adaptive))
+                .expect("adaptive run");
+        assert_eq!(run.edges, ada.edges, "schedule mode changed the MST at k={k}");
+        assert!(
+            ada.stats.rounds <= run.stats.rounds,
+            "adaptive regressed at k={k}: {} > {}",
+            ada.stats.rounds,
+            run.stats.rounds
+        );
         let model = (d + k + n / k) as f64 * (n as f64).log2();
         curve.push((k, run.stats.rounds));
         row(&[
             k.to_string(),
             run.stats.rounds.to_string(),
+            ada.stats.rounds.to_string(),
             f3(model),
             f3(run.stats.rounds as f64 / model),
             run.stats.messages.to_string(),

@@ -1,0 +1,63 @@
+//! Ablation A4 — Fixed vs Adaptive Stage B scheduling.
+//!
+//! The fixed schedule pays every phase's worst case even when all
+//! fragments finish early; Elkin17 §4 only requires the windows to *cover*
+//! each sub-step. `ScheduleMode::Adaptive` (a) tightens each window to the
+//! provable minimum, (b) ends a phase by a BFS-tree sync as soon as every
+//! merge flood has settled whenever that beats the worst-case flood
+//! window, and (c) shrinks `k` back to `sqrt(n/b)` on high-diameter
+//! inputs. The output MST is identical by construction (conformance-tested
+//! in both modes); this ablation measures the round savings.
+//!
+//! Expected shape: the high-diameter cliquepath — where the paper's
+//! `k = Θ(H)` choice makes Stage B dominate — collapses by >= 3x; tori and
+//! random graphs improve by the window-tightening margin.
+
+use dmst_bench::{banner, f3, header, row, standard_trio};
+use dmst_core::{run_mst, ElkinConfig};
+
+fn main() {
+    banner(
+        "A4: adaptive Stage B scheduling (Fixed vs Adaptive)",
+        "identical MST; high-diameter inputs gain >= 3x in rounds, others the window margin",
+    );
+
+    header(&["workload", "n", "fixed", "adaptive", "speedup", "k fix/ada"]);
+    let mut high_d: Option<(u64, u64)> = None;
+    for n in [256usize, 1024, 2304] {
+        for w in standard_trio(n, 0x51) {
+            let g = &w.graph;
+            let fixed = run_mst(g, &ElkinConfig::default()).expect("fixed run");
+            let ada = run_mst(g, &ElkinConfig::adaptive()).expect("adaptive run");
+            assert_eq!(fixed.edges, ada.edges, "schedule mode changed the MST on {}", w.name);
+            assert!(
+                ada.stats.rounds <= fixed.stats.rounds,
+                "{}: adaptive ({}) must not exceed fixed ({})",
+                w.name,
+                ada.stats.rounds,
+                fixed.stats.rounds
+            );
+            if w.name.starts_with("cliquepath") && n == 2304 {
+                high_d = Some((fixed.stats.rounds, ada.stats.rounds));
+            }
+            row(&[
+                w.name.clone(),
+                n.to_string(),
+                fixed.stats.rounds.to_string(),
+                ada.stats.rounds.to_string(),
+                f3(fixed.stats.rounds as f64 / ada.stats.rounds as f64),
+                format!("{}/{}", fixed.k, ada.k),
+            ]);
+        }
+    }
+    let (fixed, ada) = high_d.expect("cliquepath 2304 measured");
+    assert!(
+        3 * ada <= fixed,
+        "cliquepath n=2304: adaptive ({ada}) must be <= 1/3 of fixed ({fixed})"
+    );
+    println!(
+        "\nshape check: every speedup column is >= 1; the n=2304 cliquepath\n\
+         (k follows H under Fixed) drops from ~51k rounds to <= 1/3 of that;\n\
+         adaptive k equals the fixed k wherever H <= sqrt(n/b)."
+    );
+}

@@ -36,6 +36,16 @@ pub trait NodeProgram {
     /// `true` *and* no messages are in flight. A node may be reawakened by a
     /// later message even after reporting done.
     fn is_done(&self) -> bool;
+
+    /// Which protocol stage this node is currently in, as a short static
+    /// tag (e.g. `"a"`, `"b"`, ...). The network attributes each executed
+    /// round to the smallest non-empty tag reported across all nodes
+    /// ([`RunStats::rounds_by_stage`]), so a round counts toward a stage
+    /// until the *last* node has left it. The default (empty string)
+    /// disables attribution for this node.
+    fn stage_tag(&self) -> &'static str {
+        ""
+    }
 }
 
 /// Per-round execution context handed to [`NodeProgram::on_round`].
@@ -229,6 +239,21 @@ impl<P: NodeProgram> Network<P> {
             }
 
             stats.peak_round_messages = stats.peak_round_messages.max(round_messages);
+
+            // Attribute the round just executed to the earliest stage any
+            // node still reports (post-round sampling: a node that crossed
+            // a stage boundary *during* this round counts it in the new
+            // stage, matching last-to-cross milestone semantics).
+            let mut stage: Option<&'static str> = None;
+            for node in &self.nodes {
+                let t = node.stage_tag();
+                if !t.is_empty() && stage.is_none_or(|s| t < s) {
+                    stage = Some(t);
+                }
+            }
+            if let Some(t) = stage {
+                *stats.rounds_by_stage.entry(t).or_insert(0) += 1;
+            }
 
             // Consume this round's inboxes, then promote the messages just
             // sent to become next round's input.

@@ -32,12 +32,25 @@ pub struct RunStats {
     pub peak_edge_words: u64,
     /// Per-tag breakdown, ordered by tag for stable output.
     pub by_tag: BTreeMap<&'static str, TagStats>,
+    /// Rounds attributed to each protocol stage, as reported by
+    /// [`NodeProgram::stage_tag`](crate::NodeProgram::stage_tag): a round
+    /// counts toward the *earliest* (smallest, by string order) non-empty
+    /// tag any node reports after executing it, so laggards hold the round
+    /// in the earlier stage. Empty when no node reports tags. When every
+    /// node reports a tag in every round, the counts partition `rounds`
+    /// exactly.
+    pub rounds_by_stage: BTreeMap<&'static str, u64>,
 }
 
 impl RunStats {
     /// Messages carrying the given tag (0 if the tag never appeared).
     pub fn messages_with_tag(&self, tag: &str) -> u64 {
         self.by_tag.get(tag).map_or(0, |t| t.messages)
+    }
+
+    /// Rounds attributed to the given stage tag (0 if it never appeared).
+    pub fn rounds_in_stage(&self, tag: &str) -> u64 {
+        self.rounds_by_stage.get(tag).copied().unwrap_or(0)
     }
 
     /// Renders the per-tag breakdown as an aligned table, one tag per line.
@@ -61,5 +74,8 @@ mod tests {
         assert_eq!(s.messages_with_tag("bfs"), 7);
         assert_eq!(s.messages_with_tag("nope"), 0);
         assert!(s.tag_table().contains("bfs"));
+        s.rounds_by_stage.insert("a", 12);
+        assert_eq!(s.rounds_in_stage("a"), 12);
+        assert_eq!(s.rounds_in_stage("z"), 0);
     }
 }

@@ -165,3 +165,68 @@ fn opposite_directions_have_separate_budgets() {
     let mut net = Network::new(topo, |_| Burst { port: Some(0), n: 8, done: false });
     assert!(net.run(&RunConfig::congest()).is_ok());
 }
+
+/// A node that walks through named stages on a fixed per-node timetable,
+/// for stage-attribution checks.
+struct Staged {
+    /// `(stage tag, first round of the NEXT stage)` boundaries, ascending.
+    plan: Vec<(&'static str, u64)>,
+    round: u64,
+    done_at: u64,
+    pinged: bool,
+}
+
+impl NodeProgram for Staged {
+    type Msg = Seq;
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Seq>) {
+        self.round = ctx.round() + 1; // post-round sampling sees the new stage
+        if !self.pinged {
+            self.pinged = true;
+            for p in 0..ctx.degree() {
+                ctx.send(p, Seq(0));
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.round >= self.done_at
+    }
+    fn stage_tag(&self) -> &'static str {
+        for &(tag, until) in &self.plan {
+            if self.round < until {
+                return tag;
+            }
+        }
+        self.plan.last().map_or("", |&(tag, _)| tag)
+    }
+}
+
+#[test]
+fn stage_attribution_partitions_rounds_and_respects_laggards() {
+    // Node 0 flips to "b" during round 2, node 1 only during round 4
+    // (post-round sampling: executed round r reads the state after
+    // on_round(r)). Rounds 0..=3 must all be charged to "a" (earliest
+    // stage any node still reports), the rest to "b", and the breakdown
+    // must sum to the total.
+    let topo = Topology::new(2, &[(0, 1, 1)]).unwrap();
+    let mut net = Network::new(topo, |i: NodeInfo<'_>| Staged {
+        plan: vec![("a", if i.id == 0 { 3 } else { 5 }), ("b", u64::MAX)],
+        round: 0,
+        done_at: 9,
+        pinged: false,
+    });
+    let stats = net.run(&RunConfig::congest()).unwrap();
+    let total: u64 = stats.rounds_by_stage.values().sum();
+    assert_eq!(total, stats.rounds, "stage breakdown must partition the executed rounds");
+    assert_eq!(stats.rounds_in_stage("a"), 4, "laggard holds the round in the earlier stage");
+    assert_eq!(stats.rounds_in_stage("b"), stats.rounds - 4);
+    assert_eq!(stats.rounds_in_stage("zz"), 0);
+}
+
+#[test]
+fn stage_attribution_absent_without_tags() {
+    // Programs that do not override stage_tag report nothing.
+    let topo = Topology::new(2, &[(0, 1, 1)]).unwrap();
+    let mut net = Network::new(topo, |_| FloodOnce { fired: false });
+    let stats = net.run(&RunConfig::congest()).unwrap();
+    assert!(stats.rounds_by_stage.is_empty());
+}

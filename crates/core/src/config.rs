@@ -1,20 +1,22 @@
 //! Run configuration for the distributed MST algorithm.
 
-use crate::schedule::MergeControl;
+use crate::schedule::{MergeControl, ScheduleMode};
 
 /// Configuration of one algorithm execution.
 ///
 /// The defaults reproduce the paper's Theorem 3.1 setting: standard CONGEST
-/// (`b = 1`), automatic `k = max(sqrt(n/b), H)`, matched merging, BFS root at
-/// vertex 0.
+/// (`b = 1`), automatic `k = max(sqrt(n/b), H)`, matched merging, fixed
+/// Stage B windows, BFS root at vertex 0.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ElkinConfig {
     /// The `b` of `CONGEST(b log n)` (Theorem 3.2). Must be positive.
     pub bandwidth: u32,
     /// Override the base-forest parameter `k` (experiments F5/A3 sweep it);
     /// `None` selects the paper's choice via
-    /// [`choose_k`](crate::schedule::choose_k). `k = 1` skips Controlled-GHS
-    /// entirely (singleton base forest).
+    /// [`choose_k`](crate::schedule::choose_k) (or
+    /// [`choose_k_adaptive`](crate::schedule::choose_k_adaptive) under
+    /// [`ScheduleMode::Adaptive`]). `k = 1` skips Controlled-GHS entirely
+    /// (singleton base forest).
     pub k_override: Option<u64>,
     /// The designated BFS root (see DESIGN.md on the leader-election
     /// assumption).
@@ -22,6 +24,12 @@ pub struct ElkinConfig {
     /// Merge policy of the Controlled-GHS stage (ablation A1 sets
     /// [`MergeControl::Uncontrolled`]).
     pub merge_control: MergeControl,
+    /// Stage B round-scheduling discipline (experiment A4 ablates it).
+    /// [`ScheduleMode::Adaptive`] tightens the per-window constants, ends
+    /// phases by a BFS-tree sync when that is cheaper than the worst-case
+    /// flood window, and shrinks `k` on high-diameter inputs — without
+    /// changing the output MST (conformance-tested in both modes).
+    pub schedule_mode: ScheduleMode,
     /// Stop after Stage B, leaving the `(O(n/k), O(k))` base forest as the
     /// output (Theorem 4.3 standalone; used by
     /// [`run_forest`](crate::run_forest)).
@@ -35,6 +43,7 @@ impl Default for ElkinConfig {
             k_override: None,
             root: 0,
             merge_control: MergeControl::Matched,
+            schedule_mode: ScheduleMode::Fixed,
             stop_after_forest: false,
         }
     }
@@ -60,6 +69,18 @@ impl ElkinConfig {
     pub fn with_k(k: u64) -> Self {
         Self { k_override: Some(k.max(1)), ..Self::default() }
     }
+
+    /// Adaptive Stage B scheduling (tight windows, sync-ended phases,
+    /// adaptive-k) with paper defaults otherwise.
+    pub fn adaptive() -> Self {
+        Self { schedule_mode: ScheduleMode::Adaptive, ..Self::default() }
+    }
+
+    /// Returns this configuration with the given schedule mode.
+    #[must_use]
+    pub fn with_schedule_mode(self, mode: ScheduleMode) -> Self {
+        Self { schedule_mode: mode, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +99,11 @@ mod tests {
     fn builders() {
         assert_eq!(ElkinConfig::with_bandwidth(4).bandwidth, 4);
         assert_eq!(ElkinConfig::with_k(0).k_override, Some(1));
+        assert_eq!(ElkinConfig::adaptive().schedule_mode, ScheduleMode::Adaptive);
+        assert_eq!(
+            ElkinConfig::with_k(7).with_schedule_mode(ScheduleMode::Adaptive).k_override,
+            Some(7)
+        );
+        assert_eq!(ElkinConfig::default().schedule_mode, ScheduleMode::Fixed);
     }
 }

@@ -57,4 +57,7 @@ pub use forest::{analyze_forest, ForestReport};
 pub use msg::Msg;
 pub use node::{ElkinNode, Milestones};
 pub use runner::{run_forest, run_mst, ForestRun, MstRun, RunError, StageProfile};
-pub use schedule::{choose_k, ExchangeKind, MergeControl, Params, Schedule, Slot, Window};
+pub use schedule::{
+    choose_k, choose_k_adaptive, ExchangeKind, MergeControl, Params, Schedule, ScheduleMode, Slot,
+    Window,
+};

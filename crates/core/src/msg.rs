@@ -121,6 +121,36 @@ pub enum Msg {
         id: u64,
     },
 
+    // ---- Stage B adaptive phase ends (tag `b:sync`; sync-ended phases of
+    // `ScheduleMode::Adaptive` only — see `schedule.rs`) ----
+    /// Ack retracing a [`Msg::NewFrag`] edge: the sender's entire flood
+    /// subtree has been re-oriented and is quiet.
+    FloodAck {
+        /// Phase the ack belongs to (consistency check).
+        phase: u32,
+    },
+    /// Old-fragment-root broadcast down its fragment tree: no merge flood
+    /// will enter this fragment this phase; settle immediately.
+    SyncNoFlood {
+        /// Phase the signal belongs to (consistency check).
+        phase: u32,
+    },
+    /// BFS-tree convergecast: every vertex of my BFS subtree has settled
+    /// (merge flood processed and acked, or provably not coming).
+    SyncUp {
+        /// Phase the report belongs to (consistency check).
+        phase: u32,
+    },
+    /// BFS-root broadcast ending a sync phase: window scheduling resumes
+    /// with phase `phase` at absolute round `start` (a `phase` equal to the
+    /// phase count means Stage B is over and Stage C begins at `start`).
+    SyncStart {
+        /// The next phase index.
+        phase: u32,
+        /// Absolute round at which it starts, everywhere simultaneously.
+        start: u64,
+    },
+
     // ---- Stage C: intervals and fragment registration (paper §3) ----
     /// Parent assigns a child its interval `[start, start + size)`.
     Interval {
@@ -237,11 +267,14 @@ impl Message for Msg {
             | Msg::StartPhase { .. } => 1,
             Msg::SizeUp { .. }
             | Msg::FragAnnounce { .. }
+            | Msg::FloodAck { .. }
+            | Msg::SyncNoFlood { .. }
+            | Msg::SyncUp { .. }
             | Msg::Interval { .. }
             | Msg::Register { .. }
             | Msg::CoarseAnnounce { .. }
             | Msg::NewCoarse { .. } => 2,
-            Msg::Assign { .. } => 3,
+            Msg::Assign { .. } | Msg::SyncStart { .. } => 3,
             Msg::Params { .. } | Msg::MwoeUp { .. } => 4,
             Msg::FragMwoeUp { .. } => 5,
             Msg::Candidate { .. } => 6,
@@ -264,6 +297,10 @@ impl Message for Msg {
             | Msg::StatusDown
             | Msg::StatusCross => "b:match",
             Msg::MergePath | Msg::MergeCross | Msg::NewFrag { .. } => "b:merge",
+            Msg::FloodAck { .. }
+            | Msg::SyncNoFlood { .. }
+            | Msg::SyncUp { .. }
+            | Msg::SyncStart { .. } => "b:sync",
             Msg::Interval { .. } | Msg::Register { .. } | Msg::RegDone | Msg::InitCoarse { .. } => {
                 "c:intervals"
             }
@@ -308,5 +345,14 @@ mod tests {
         assert_eq!(Msg::NewFrag { id: 3 }.tag(), "b:merge");
         assert_eq!(Msg::Register { slot: 0, height: 1 }.tag(), "c:intervals");
         assert_eq!(Msg::UpDone.tag(), "d:upcast");
+        for m in [
+            Msg::FloodAck { phase: 1 },
+            Msg::SyncNoFlood { phase: 1 },
+            Msg::SyncUp { phase: 1 },
+            Msg::SyncStart { phase: 2, start: 99 },
+        ] {
+            assert_eq!(m.tag(), "b:sync");
+            assert!(m.words() <= 3);
+        }
     }
 }

@@ -8,7 +8,7 @@
 use congest_sim::RoundCtx;
 
 use crate::msg::Msg;
-use crate::schedule::{choose_k, Params, Schedule};
+use crate::schedule::{choose_k, choose_k_adaptive, Params, Schedule, ScheduleMode};
 
 use super::{ElkinNode, Stage};
 
@@ -111,7 +111,10 @@ impl ElkinNode {
             // BFS root: size is n, height is H.
             let n = size;
             let h = height;
-            let k = self.cfg.k_override.unwrap_or_else(|| choose_k(n, h, self.cfg.bandwidth));
+            let k = self.cfg.k_override.unwrap_or_else(|| match self.cfg.schedule_mode {
+                ScheduleMode::Fixed => choose_k(n, h, self.cfg.bandwidth),
+                ScheduleMode::Adaptive => choose_k_adaptive(n, self.cfg.bandwidth),
+            });
             let t0 = ctx.round() + h + 2;
             let params = Params { n, h, k, t0 };
             self.a_adopt_params(params);
@@ -122,7 +125,7 @@ impl ElkinNode {
     }
 
     fn a_adopt_params(&mut self, params: Params) {
-        self.sched = Some(Schedule::new(&params, self.cfg.merge_control));
+        self.sched = Some(Schedule::new(&params, self.cfg.merge_control, self.cfg.schedule_mode));
         self.params = Some(params);
     }
 }

@@ -52,8 +52,12 @@ impl From<SimError> for RunError {
     }
 }
 
-/// Where the rounds of a run went, stage by stage (maxima over vertices,
-/// so boundaries reflect the *last* vertex to cross each milestone).
+/// Where the rounds of a run went, stage by stage. Attribution is exact:
+/// the simulator charges every executed round to the earliest stage any
+/// vertex is still in ([`RunStats::rounds_by_stage`] via
+/// `NodeProgram::stage_tag`), so boundaries reflect the *last* vertex to
+/// cross each milestone and the four counts partition
+/// [`RunStats::rounds`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StageProfile {
     /// Rounds spent in Stage A (BFS + sizes + parameter broadcast).
@@ -182,19 +186,20 @@ pub fn run_mst(g: &WeightedGraph, cfg: &ElkinConfig) -> Result<MstRun, RunError>
     let bfs_height = net.nodes().iter().map(|nd| nd.bfs_depth()).max().unwrap_or(0);
     let total_weight = g.total_weight(edges.iter().copied());
 
-    // Stage boundaries: last vertex to cross each milestone.
-    let max_of = |f: &dyn Fn(&ElkinNode) -> u64| {
-        net.nodes().iter().map(f).filter(|&r| r != u64::MAX).max().unwrap_or(0)
-    };
-    let b_at = max_of(&|nd| nd.milestones().entered_b);
-    let cd_at = max_of(&|nd| nd.milestones().entered_cd);
-    let d_at = max_of(&|nd| nd.milestones().entered_d).max(cd_at);
+    // Per-round stage attribution from the simulator: exact by
+    // construction (every ElkinNode reports a tag every round, so the four
+    // counts partition stats.rounds).
     let profile = StageProfile {
-        stage_a: b_at,
-        stage_b: cd_at.saturating_sub(b_at),
-        stage_c: d_at.saturating_sub(cd_at),
-        stage_d: stats.rounds.saturating_sub(d_at),
+        stage_a: stats.rounds_in_stage("a"),
+        stage_b: stats.rounds_in_stage("b"),
+        stage_c: stats.rounds_in_stage("c"),
+        stage_d: stats.rounds_in_stage("d"),
     };
+    debug_assert_eq!(
+        profile.stage_a + profile.stage_b + profile.stage_c + profile.stage_d,
+        stats.rounds,
+        "stage attribution must partition the run"
+    );
     Ok(MstRun { edges, total_weight, stats, k, bfs_height, profile })
 }
 

@@ -1,5 +1,4 @@
-//! Global parameters and the fixed round schedule of the Controlled-GHS
-//! stage.
+//! Global parameters and the round schedule of the Controlled-GHS stage.
 //!
 //! The synchronous model gives every vertex a shared clock, so once the BFS
 //! root has broadcast `(n, H, k, t0)` (end of Stage A), every vertex computes
@@ -7,23 +6,61 @@
 //! sub-step of which Controlled-GHS phase is executing. This realizes the
 //! paper's implicit phase synchronization with explicit budget constants.
 //!
-//! Per phase `i` (participation radius `p = 2^i`), the windows are:
+//! # Window table and derivation
 //!
-//! | window | length | purpose (paper §4) |
-//! |---|---|---|
-//! | Announce | `1` | fragment-id refresh to neighbors |
-//! | Probe | `2p + 2` | depth-budgeted MWOE convergecast + participation test |
-//! | Connect | `p + 3` | `Participate` flood, argmin downcast, `ConnectReq` over the MWOE |
-//! | Kids | `p + 2` | convergecast: does the fragment have foreign children? |
-//! | Exchange × X | `2p + 3` each | Cole–Vishkin iterations (`X = steps_to_six(n) + 6`) |
-//! | Collect/Accept/Status × 3 | `p+2`, `2p+4`, `p+3` | maximal matching, one color class per step |
-//! | MergeGo | `p + 2` (`2p + 4` uncontrolled) | unmatched fragments fire their MWOE |
-//! | MergeFlood | `6p + 6` (`n + 2p + 6` uncontrolled) | new-fragment flood and re-orientation |
+//! Per phase `i` (participation radius `p = 2^i`), a participating fragment
+//! has height `<= p` (that is exactly what the probe's depth budget tests),
+//! so each sub-step's latency is a small multiple of `p`. The two columns
+//! below are the **Fixed** (seed, deliberately padded) and **Adaptive**
+//! (provably minimal) window lengths; the derivation of each adaptive
+//! length is the longest message chain of the sub-step, where a message
+//! sent in round `r` is processed in round `r + 1`:
+//!
+//! | window | fixed | adaptive | longest chain (adaptive) |
+//! |---|---|---|---|
+//! | Announce | `1` | `1` | one local send; delivered at the next window's offset 0 |
+//! | Probe | `2p+2` | `2p+1` | descend `p` (depth-`j` vertex hears at offset `j`), ascend `p`: root hears the last `MwoeUp` at offset `2p` |
+//! | Connect | `p+3` | `p+2` | `MwoePath` descends `<= p`, `ConnectReq` crosses (+1): delivered at offset `<= p+1`, the window's last round, where the mutual-MWOE tie is resolved |
+//! | Kids | `p+2` | `p+1` | all vertices start at offset 0; ascend `<= p` |
+//! | Exchange × X | `2p+3` | `2p+2` | `ColorDown` descends `<= p`, `ColorCross` (+1), `ColorUp` ascends `<= p`: root holds the parent color at offset `2p+1` and evaluates that round |
+//! | Collect (×3) | `p+2` | `p+1` | pure convergecast, ascend `<= p` |
+//! | Accept (×3) | `2p+4` | `2p+2` | `AcceptPath` descends `<= p`, `AcceptCross` (+1), `MatchedUp` ascends `<= p` |
+//! | Status (×3) | `p+3` | `p+2` | `StatusDown` descends `<= p`, `StatusCross` (+1) |
+//! | MergeGo | `p+2` / `2p+4` unc. | `p+2` / `2p+2` unc. | `MergePath` descends `<= p`, `MergeCross` (+1); uncontrolled adds the mutual `MatchedUp` ascent `<= p` |
+//! | MergeFlood | `6p+6` / `n+2p+6` unc. | see below | flood depth `<= 5p+4`: initiator fragment `<= p`, cross (+1), partner entered anywhere so `<= 2p` internally, cross to a pendant (+1), pendant `<= 2p` |
+//!
+//! `X = steps_to_six(n) + 6` Cole–Vishkin iterations as before.
+//!
+//! # Adaptive phase ends (`ScheduleMode::Adaptive`)
+//!
+//! The merge flood is the one window whose worst case (`5p+4` hops, or
+//! `Θ(n)` uncontrolled) is usually far from its actual depth — fragments
+//! merge along short chains long before the radius saturates. Adaptive
+//! mode therefore ends each phase one of two ways, chosen **per phase** by
+//! a deterministic rule every vertex evaluates identically (it depends
+//! only on the broadcast `(n, H)` and the phase index):
+//!
+//! * **Scheduled end** when the worst-case flood window is already cheaper
+//!   than a tree sync (`flood_window <= 2H + 5`): sleep out the tight
+//!   `5p+5` (matched) window exactly like Fixed mode, just with the
+//!   minimal constant.
+//! * **Sync end** otherwise (`flood_window > 2H + 5`, e.g. uncontrolled
+//!   mode, or `p >> H`): the flood carries acks (`FloodAck` retraces every
+//!   `NewFrag` edge), fragment roots that provably expect no flood
+//!   broadcast `SyncNoFlood` down their old fragment tree, and every
+//!   vertex that has settled reports `SyncUp` up the Stage A BFS tree once
+//!   its BFS subtree has. When the BFS root has heard the whole tree it
+//!   broadcasts `SyncStart { phase+1, t }` with `t = now + H + 1`, and the
+//!   next phase's Announce window opens at the absolute round `t` at every
+//!   vertex simultaneously. Cost: `O(actual flood depth + H)` instead of
+//!   the worst-case window — the phase ends as soon as every fragment's
+//!   merge flood has settled.
 //!
 //! The **uncontrolled** mode (ablation A1) skips coloring and matching
-//! entirely and lets every fragment merge along its MWOE; its flood window
-//! must cover `Θ(n)` because without matching the fragment diameter is
-//! unbounded — that blow-up is exactly what the ablation demonstrates.
+//! entirely and lets every fragment merge along its MWOE; its fixed flood
+//! window must cover `Θ(n)` because without matching the fragment diameter
+//! is unbounded — that blow-up is exactly what the ablation demonstrates
+//! (and exactly where sync-ended phases help most).
 
 use crate::cv::steps_to_six;
 use crate::util::{ceil_log2, isqrt};
@@ -38,6 +75,18 @@ pub enum MergeControl {
     Matched,
     /// Ablation: pure Borůvka merging; diameter may blow up to `Θ(n)`.
     Uncontrolled,
+}
+
+/// How Stage B rounds are scheduled (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// The seed behaviour: padded windows, every phase sleeps out its
+    /// worst case, `k = max(sqrt(n/b), H)`.
+    #[default]
+    Fixed,
+    /// Tightened windows, per-phase scheduled-vs-sync ends, and the
+    /// adaptive-k choice [`choose_k_adaptive`].
+    Adaptive,
 }
 
 /// The globally agreed parameters broadcast by the BFS root at the end of
@@ -61,6 +110,24 @@ pub struct Params {
 pub fn choose_k(n: u64, h: u64, bandwidth: u32) -> u64 {
     let nb = n.div_euclid(u64::from(bandwidth.max(1))).max(1);
     isqrt(nb).max(h).max(1)
+}
+
+/// The adaptive-k heuristic ([`ScheduleMode::Adaptive`]): `k = sqrt(n/b)`
+/// in *both* regimes — the way it "accounts for" the measured `H` is
+/// precisely by refusing to follow it up on high-diameter graphs (where
+/// `choose_k` returns `H`), which is why it takes no `h` argument.
+///
+/// The paper inflates `k` to `Θ(H)` in the large-diameter regime so the
+/// Stage D pipeline term `n/(kb)` stays below `D`. But once
+/// `k >= sqrt(n/b)` that term is `<= sqrt(n/b) <= max(D, sqrt(n/b))`
+/// anyway, while every extra Controlled-GHS phase the larger `k` buys
+/// costs `Θ(2^i)` scheduled rounds — with adaptive phase ends the Stage B
+/// windows are the bottleneck on exactly those graphs. So
+/// `choose_k_adaptive(n, b) = choose_k(n, h, b)` whenever `H <= sqrt(n/b)`
+/// and shrinks to `sqrt(n/b)` otherwise.
+pub fn choose_k_adaptive(n: u64, bandwidth: u32) -> u64 {
+    let nb = n.div_euclid(u64::from(bandwidth.max(1))).max(1);
+    isqrt(nb).max(1)
 }
 
 /// One scheduled window of a Controlled-GHS phase.
@@ -113,30 +180,51 @@ pub struct Slot {
 }
 
 /// The fully determined Stage B schedule, identical at every vertex.
+///
+/// In [`ScheduleMode::Fixed`] the schedule is a pure function of the
+/// broadcast parameters and [`Schedule::locate`] maps absolute rounds to
+/// slots. In [`ScheduleMode::Adaptive`] phases that end by sync have no
+/// predetermined length; the node tracks the current phase's start round
+/// and uses [`Schedule::locate_rel`], with [`Schedule::sync_phase`]
+/// deciding per phase which ending applies.
 #[derive(Clone, Debug)]
 pub struct Schedule {
     t0: u64,
     num_phases: u32,
     exchanges: u32,
-    mode: MergeControl,
+    merge: MergeControl,
+    mode: ScheduleMode,
     n: u64,
-    /// Start round of each phase (absolute), plus the end sentinel.
+    h: u64,
+    /// Start round of each phase (absolute), plus the end sentinel. In
+    /// adaptive mode these are *nominal* (as if every phase ended on
+    /// schedule) and only [`Schedule::phase_len`] of scheduled-end phases
+    /// is meaningful to the executor.
     phase_starts: Vec<u64>,
 }
 
 impl Schedule {
     /// Builds the schedule from the broadcast parameters.
-    pub fn new(params: &Params, mode: MergeControl) -> Self {
+    pub fn new(params: &Params, merge: MergeControl, mode: ScheduleMode) -> Self {
         let num_phases = if params.k <= 1 { 0 } else { ceil_log2(params.k) as u32 };
         let exchanges = steps_to_six(params.n) + 6;
         let mut phase_starts = Vec::with_capacity(num_phases as usize + 1);
         let mut start = params.t0;
         for i in 0..num_phases {
             phase_starts.push(start);
-            start += Self::phase_len_for(i, exchanges, mode, params.n);
+            start += Self::phase_len_for(i, exchanges, merge, mode, params.n);
         }
         phase_starts.push(start);
-        Self { t0: params.t0, num_phases, exchanges, mode, n: params.n, phase_starts }
+        Self {
+            t0: params.t0,
+            num_phases,
+            exchanges,
+            merge,
+            mode,
+            n: params.n,
+            h: params.h,
+            phase_starts,
+        }
     }
 
     /// Number of Controlled-GHS phases (`ceil(log2 k)`).
@@ -154,7 +242,8 @@ impl Schedule {
         self.t0
     }
 
-    /// First round *after* Stage B (Stage C entry point).
+    /// First round *after* Stage B (Stage C entry point). Nominal in
+    /// adaptive mode (sync-ended phases end earlier or later at run time).
     pub fn end(&self) -> u64 {
         *self.phase_starts.last().expect("sentinel always present")
     }
@@ -164,54 +253,94 @@ impl Schedule {
         1u64 << phase
     }
 
+    /// The BFS-tree height the schedule was built with.
+    pub fn height(&self) -> u64 {
+        self.h
+    }
+
+    /// Worst-case merge-flood window of phase `i` under the given merge
+    /// control and schedule mode.
+    fn flood_len_for(phase: u32, merge: MergeControl, mode: ScheduleMode, n: u64) -> u64 {
+        let p = 1u64 << phase;
+        match (merge, mode) {
+            (MergeControl::Matched, ScheduleMode::Fixed) => 6 * p + 6,
+            (MergeControl::Matched, ScheduleMode::Adaptive) => 5 * p + 5,
+            (MergeControl::Uncontrolled, _) => n + 2 * p + 6,
+        }
+    }
+
+    /// Whether phase `i` ends by the BFS-tree sync protocol instead of a
+    /// scheduled flood window (adaptive mode only; see the module docs).
+    /// The rule is a pure function of broadcast data, so every vertex
+    /// agrees on it without communication.
+    pub fn sync_phase(&self, phase: u32) -> bool {
+        self.mode == ScheduleMode::Adaptive
+            && Self::flood_len_for(phase, self.merge, self.mode, self.n) > 2 * self.h + 5
+    }
+
     /// The window layout of one phase: `(window, length)` in order.
     fn layout(&self, phase: u32) -> Vec<(Window, u64)> {
         let p = self.radius(phase);
+        // Per-window padding beyond the provable minimum: 0 in adaptive
+        // mode, the seed's slack in fixed mode (see the module table).
+        let pad = u64::from(self.mode == ScheduleMode::Fixed);
+        let flood = Self::flood_len_for(phase, self.merge, self.mode, self.n);
         let mut v = Vec::with_capacity(7 + self.exchanges as usize + 9);
         v.push((Window::Announce, 1));
-        v.push((Window::Probe, 2 * p + 2));
-        v.push((Window::Connect, p + 3));
-        match self.mode {
+        v.push((Window::Probe, 2 * p + 1 + pad));
+        v.push((Window::Connect, p + 2 + pad));
+        match self.merge {
             MergeControl::Matched => {
-                v.push((Window::Kids, p + 2));
+                v.push((Window::Kids, p + 1 + pad));
                 for x in 0..self.exchanges {
-                    v.push((Window::Exchange(x), 2 * p + 3));
+                    v.push((Window::Exchange(x), 2 * p + 2 + pad));
                 }
                 for c in 0..3u8 {
-                    v.push((Window::MatchCollect(c), p + 2));
-                    v.push((Window::MatchAccept(c), 2 * p + 4));
-                    v.push((Window::MatchStatus(c), p + 3));
+                    v.push((Window::MatchCollect(c), p + 1 + pad));
+                    v.push((Window::MatchAccept(c), 2 * p + 2 + 2 * pad));
+                    v.push((Window::MatchStatus(c), p + 2 + pad));
                 }
                 v.push((Window::MergeGo, p + 2));
-                v.push((Window::MergeFlood, 6 * p + 6));
+                v.push((Window::MergeFlood, flood));
             }
             MergeControl::Uncontrolled => {
-                v.push((Window::MergeGo, 2 * p + 4));
-                v.push((Window::MergeFlood, self.n + 2 * p + 6));
+                v.push((Window::MergeGo, 2 * p + 2 + 2 * pad));
+                v.push((Window::MergeFlood, flood));
             }
         }
         v
     }
 
-    fn phase_len_for(phase: u32, exchanges: u32, mode: MergeControl, n: u64) -> u64 {
+    fn phase_len_for(
+        phase: u32,
+        exchanges: u32,
+        merge: MergeControl,
+        mode: ScheduleMode,
+        n: u64,
+    ) -> u64 {
         let p = 1u64 << phase;
-        match mode {
+        let pad = u64::from(mode == ScheduleMode::Fixed);
+        let flood = Self::flood_len_for(phase, merge, mode, n);
+        match merge {
             MergeControl::Matched => {
-                1 + (2 * p + 2)
-                    + (p + 3)
+                1 + (2 * p + 1 + pad)
+                    + (p + 2 + pad)
+                    + (p + 1 + pad)
+                    + u64::from(exchanges) * (2 * p + 2 + pad)
+                    + 3 * ((p + 1 + pad) + (2 * p + 2 + 2 * pad) + (p + 2 + pad))
                     + (p + 2)
-                    + u64::from(exchanges) * (2 * p + 3)
-                    + 3 * ((p + 2) + (2 * p + 4) + (p + 3))
-                    + (p + 2)
-                    + (6 * p + 6)
+                    + flood
             }
-            MergeControl::Uncontrolled => 1 + (2 * p + 2) + (p + 3) + (2 * p + 4) + (n + 2 * p + 6),
+            MergeControl::Uncontrolled => {
+                1 + (2 * p + 1 + pad) + (p + 2 + pad) + (2 * p + 2 + 2 * pad) + flood
+            }
         }
     }
 
-    /// Total length of phase `i` in rounds.
+    /// Total length of phase `i` in rounds (worst case; the *actual*
+    /// length of a sync-ended adaptive phase is decided at run time).
     pub fn phase_len(&self, phase: u32) -> u64 {
-        Self::phase_len_for(phase, self.exchanges, self.mode, self.n)
+        Self::phase_len_for(phase, self.exchanges, self.merge, self.mode, self.n)
     }
 
     /// Classifies exchange window `x` as ladder / shift-down / recolor.
@@ -231,7 +360,9 @@ impl Schedule {
     }
 
     /// Locates an absolute round within the Stage B schedule. `None` before
-    /// `t0` or at/after [`Schedule::end`].
+    /// `t0` or at/after [`Schedule::end`]. Only meaningful in
+    /// [`ScheduleMode::Fixed`] (adaptive phase starts move at run time; use
+    /// [`Schedule::locate_rel`]).
     pub fn locate(&self, round: u64) -> Option<Slot> {
         if round < self.t0 || round >= self.end() {
             return None;
@@ -241,14 +372,25 @@ impl Schedule {
             Ok(i) => i,
             Err(i) => i - 1,
         } as u32;
-        let mut off = round - self.phase_starts[phase as usize];
-        for (window, len) in self.layout(phase) {
-            if off < len {
-                return Some(Slot { phase, window, offset: off, last: off + 1 == len });
+        Some(self.locate_rel(phase, round - self.phase_starts[phase as usize]))
+    }
+
+    /// Locates round `rel` (0-based) within phase `phase`, independent of
+    /// absolute time. Offsets beyond the nominal layout stay in the
+    /// (open-ended) merge-flood window — that is how sync-ended adaptive
+    /// phases wait for the `SyncStart` broadcast.
+    pub fn locate_rel(&self, phase: u32, rel: u64) -> Slot {
+        let mut off = rel;
+        let layout = self.layout(phase);
+        let count = layout.len();
+        for (i, (window, len)) in layout.into_iter().enumerate() {
+            if off < len || i + 1 == count {
+                let last = off + 1 == len;
+                return Slot { phase, window, offset: off, last };
             }
             off -= len;
         }
-        unreachable!("phase layout shorter than phase length");
+        unreachable!("layout is never empty");
     }
 }
 
@@ -258,6 +400,10 @@ mod tests {
 
     fn params(n: u64, k: u64) -> Params {
         Params { n, h: 3, k, t0: 100 }
+    }
+
+    fn fixed(n: u64, k: u64) -> Schedule {
+        Schedule::new(&params(n, k), MergeControl::Matched, ScheduleMode::Fixed)
     }
 
     #[test]
@@ -273,16 +419,28 @@ mod tests {
     }
 
     #[test]
+    fn choose_k_adaptive_shrinks_on_high_diameter() {
+        // Low diameter: identical to the paper's choice.
+        assert_eq!(choose_k_adaptive(1024, 1), choose_k(1024, 10, 1));
+        // High diameter: stays at sqrt(n/b) instead of following H.
+        assert_eq!(choose_k_adaptive(1024, 1), 32);
+        assert_eq!(choose_k(1024, 100, 1), 100);
+        // Bandwidth still shrinks the sqrt term.
+        assert_eq!(choose_k_adaptive(1024, 4), 16);
+        assert_eq!(choose_k_adaptive(1, 1), 1);
+    }
+
+    #[test]
     fn phases_count() {
-        assert_eq!(Schedule::new(&params(100, 1), MergeControl::Matched).num_phases(), 0);
-        assert_eq!(Schedule::new(&params(100, 2), MergeControl::Matched).num_phases(), 1);
-        assert_eq!(Schedule::new(&params(100, 8), MergeControl::Matched).num_phases(), 3);
-        assert_eq!(Schedule::new(&params(100, 9), MergeControl::Matched).num_phases(), 4);
+        assert_eq!(fixed(100, 1).num_phases(), 0);
+        assert_eq!(fixed(100, 2).num_phases(), 1);
+        assert_eq!(fixed(100, 8).num_phases(), 3);
+        assert_eq!(fixed(100, 9).num_phases(), 4);
     }
 
     #[test]
     fn locate_covers_every_round_exactly_once() {
-        let s = Schedule::new(&params(64, 8), MergeControl::Matched);
+        let s = fixed(64, 8);
         assert!(s.locate(99).is_none());
         assert!(s.locate(s.end()).is_none());
         let mut prev: Option<Slot> = None;
@@ -311,8 +469,70 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_windows_are_tighter_phase_by_phase() {
+        let p = params(1 << 16, 64);
+        let f = Schedule::new(&p, MergeControl::Matched, ScheduleMode::Fixed);
+        let a = Schedule::new(&p, MergeControl::Matched, ScheduleMode::Adaptive);
+        assert_eq!(f.num_phases(), a.num_phases());
+        for i in 0..f.num_phases() {
+            assert!(
+                a.phase_len(i) < f.phase_len(i),
+                "adaptive phase {i} ({}) not tighter than fixed ({})",
+                a.phase_len(i),
+                f.phase_len(i)
+            );
+        }
+    }
+
+    #[test]
+    fn locate_rel_is_total_and_open_ended() {
+        let p = params(64, 8);
+        let s = Schedule::new(&p, MergeControl::Matched, ScheduleMode::Adaptive);
+        for phase in 0..s.num_phases() {
+            let len = s.phase_len(phase);
+            let mut prev: Option<Slot> = None;
+            for rel in 0..len {
+                let slot = s.locate_rel(phase, rel);
+                assert_eq!(slot.phase, phase);
+                if let Some(pv) = prev {
+                    if pv.window == slot.window {
+                        assert_eq!(slot.offset, pv.offset + 1);
+                    } else {
+                        assert!(pv.last);
+                        assert_eq!(slot.offset, 0);
+                    }
+                }
+                prev = Some(slot);
+            }
+            // Beyond the nominal layout: still MergeFlood, never `last`.
+            let over = s.locate_rel(phase, len + 17);
+            assert_eq!(over.window, Window::MergeFlood);
+            assert!(!over.last);
+        }
+    }
+
+    #[test]
+    fn sync_rule_is_deterministic_in_broadcast_data() {
+        // h = 3: matched floods are 5p+5; sync once 5p+5 > 2*3+5 = 11,
+        // i.e. from p = 2 (phase 1) on.
+        let s = Schedule::new(&params(64, 16), MergeControl::Matched, ScheduleMode::Adaptive);
+        assert!(!s.sync_phase(0));
+        assert!(s.sync_phase(1));
+        assert!(s.sync_phase(3));
+        // Fixed mode never syncs.
+        assert!(!fixed(64, 16).sync_phase(3));
+        // Uncontrolled floods are Θ(n): every adaptive phase syncs.
+        let u = Schedule::new(&params(64, 16), MergeControl::Uncontrolled, ScheduleMode::Adaptive);
+        assert!(u.sync_phase(0));
+        // A tall BFS tree pushes the rule back toward scheduled ends.
+        let tall = Params { n: 64, h: 1000, k: 16, t0: 0 };
+        let t = Schedule::new(&tall, MergeControl::Matched, ScheduleMode::Adaptive);
+        assert!(!t.sync_phase(3));
+    }
+
+    #[test]
     fn exchange_kinds_partition() {
-        let s = Schedule::new(&params(1 << 20, 4), MergeControl::Matched);
+        let s = fixed(1 << 20, 4);
         let ladder = s.exchanges() - 6;
         assert!(matches!(s.exchange_kind(0), ExchangeKind::Ladder));
         assert_eq!(s.exchange_kind(ladder), ExchangeKind::ShiftDown(3));
@@ -323,7 +543,7 @@ mod tests {
 
     #[test]
     fn uncontrolled_layout_has_no_matching() {
-        let s = Schedule::new(&params(64, 8), MergeControl::Uncontrolled);
+        let s = Schedule::new(&params(64, 8), MergeControl::Uncontrolled, ScheduleMode::Fixed);
         for r in s.start()..s.end() {
             let slot = s.locate(r).unwrap();
             assert!(
@@ -345,15 +565,17 @@ mod tests {
 
     #[test]
     fn phase_budgets_grow_geometrically() {
-        let s = Schedule::new(&params(1 << 16, 64), MergeControl::Matched);
-        for i in 1..s.num_phases() {
-            let a = s.phase_len(i - 1);
-            let b = s.phase_len(i);
-            assert!(b > a && b < 3 * a, "phase budgets should roughly double");
+        for mode in [ScheduleMode::Fixed, ScheduleMode::Adaptive] {
+            let s = Schedule::new(&params(1 << 16, 64), MergeControl::Matched, mode);
+            for i in 1..s.num_phases() {
+                let a = s.phase_len(i - 1);
+                let b = s.phase_len(i);
+                assert!(b > a && b < 3 * a, "phase budgets should roughly double ({mode:?})");
+            }
+            // Total Stage B length is O(k log* n): generous constant check.
+            let total = s.end() - s.start();
+            let bound = 200 * 64 + 500;
+            assert!(total < bound, "stage B budget {total} exceeds {bound} ({mode:?})");
         }
-        // Total Stage B length is O(k log* n): generous constant check.
-        let total = s.end() - s.start();
-        let bound = 200 * 64 + 500;
-        assert!(total < bound, "stage B budget {total} exceeds {bound}");
     }
 }

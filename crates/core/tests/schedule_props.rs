@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use dmst_core::{choose_k, MergeControl, Params, Schedule, Window};
+use dmst_core::{
+    choose_k, choose_k_adaptive, MergeControl, Params, Schedule, ScheduleMode, Window,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -20,7 +22,7 @@ proptest! {
     ) {
         let mode = if uncontrolled { MergeControl::Uncontrolled } else { MergeControl::Matched };
         let params = Params { n, h: 5, k, t0 };
-        let s = Schedule::new(&params, mode);
+        let s = Schedule::new(&params, mode, ScheduleMode::Fixed);
         prop_assert!(s.locate(t0.wrapping_sub(1)).is_none() || t0 == 0);
         prop_assert!(s.locate(s.end()).is_none());
         if k <= 1 {
@@ -57,7 +59,8 @@ proptest! {
     /// last is MergeFlood.
     #[test]
     fn phase_boundaries(n in 2u64..10_000, k in 2u64..200) {
-        let s = Schedule::new(&Params { n, h: 1, k, t0: 0 }, MergeControl::Matched);
+        let s = Schedule::new(&Params { n, h: 1, k, t0: 0 }, MergeControl::Matched,
+            ScheduleMode::Fixed);
         let mut start = 0;
         for i in 0..s.num_phases() {
             let first = s.locate(start).unwrap();
@@ -72,7 +75,37 @@ proptest! {
         }
     }
 
-    /// choose_k honors both regimes and never returns zero.
+    /// Relative location (the adaptive executor's view) agrees with the
+    /// phase layout: Announce at offset 0, every phase's nominal end is the
+    /// merge flood, and offsets past the layout stay in the flood window.
+    #[test]
+    fn locate_rel_matches_layout(
+        n in 2u64..10_000,
+        k in 2u64..200,
+        h in 0u64..500,
+        uncontrolled in any::<bool>(),
+    ) {
+        let merge = if uncontrolled { MergeControl::Uncontrolled } else { MergeControl::Matched };
+        let s = Schedule::new(&Params { n, h, k, t0: 0 }, merge, ScheduleMode::Adaptive);
+        for i in 0..s.num_phases() {
+            let len = s.phase_len(i);
+            let first = s.locate_rel(i, 0);
+            prop_assert_eq!(first.window, Window::Announce);
+            prop_assert!(first.last);
+            let last = s.locate_rel(i, len - 1);
+            prop_assert_eq!(last.window, Window::MergeFlood);
+            prop_assert!(last.last);
+            let over = s.locate_rel(i, len + 3);
+            prop_assert_eq!(over.window, Window::MergeFlood);
+            prop_assert!(!over.last);
+            // Adaptive phases are never longer than fixed ones on paper.
+            let f = Schedule::new(&Params { n, h, k, t0: 0 }, merge, ScheduleMode::Fixed);
+            prop_assert!(s.phase_len(i) <= f.phase_len(i));
+        }
+    }
+
+    /// choose_k honors both regimes and never returns zero; the adaptive
+    /// variant never exceeds it and ignores the H inflation.
     #[test]
     fn choose_k_sane(n in 1u64..1_000_000, h in 0u64..5_000, b in 1u32..64) {
         let k = choose_k(n, h, b);
@@ -81,5 +114,12 @@ proptest! {
         // k is never larger than max(h, sqrt(n)) + 1.
         let sq = (n as f64).sqrt() as u64 + 1;
         prop_assert!(k <= h.max(sq));
+        let ka = choose_k_adaptive(n, b);
+        prop_assert!(ka >= 1);
+        prop_assert!(ka <= k, "adaptive k must never exceed the paper's choice");
+        prop_assert!(ka <= sq, "adaptive k stays at the sqrt term");
+        if h <= ka {
+            prop_assert_eq!(ka, k, "low-diameter regime: identical to the paper's choice");
+        }
     }
 }

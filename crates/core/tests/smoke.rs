@@ -1,13 +1,22 @@
 //! End-to-end smoke tests of the full algorithm across graph families,
 //! bandwidths, and k overrides.
 
-use dmst_core::{analyze_forest, run_forest, run_mst, ElkinConfig, MergeControl};
+use dmst_core::{analyze_forest, run_forest, run_mst, ElkinConfig, MergeControl, ScheduleMode};
 use dmst_graphs::{generators as gen, mst, WeightedGraph};
 
 fn check(g: &WeightedGraph, cfg: &ElkinConfig, label: &str) {
     let truth = mst::kruskal(g);
     let run = run_mst(g, cfg).unwrap_or_else(|e| panic!("{label}: {e}"));
     assert_eq!(run.edges, truth.edges, "{label}: wrong MST");
+    // The schedule mode may change round counts, never the tree: re-run
+    // the same configuration in the other mode and demand the same MST.
+    let other = match cfg.schedule_mode {
+        ScheduleMode::Fixed => ScheduleMode::Adaptive,
+        ScheduleMode::Adaptive => ScheduleMode::Fixed,
+    };
+    let alt = run_mst(g, &cfg.with_schedule_mode(other))
+        .unwrap_or_else(|e| panic!("{label} ({other:?}): {e}"));
+    assert_eq!(alt.edges, truth.edges, "{label} ({other:?}): wrong MST");
 }
 
 #[test]
@@ -55,6 +64,28 @@ fn uncontrolled_merge_still_correct() {
     let g = gen::grid_2d(6, 6, r);
     let cfg = ElkinConfig { merge_control: MergeControl::Uncontrolled, ..Default::default() };
     check(&g, &cfg, "uncontrolled");
+}
+
+#[test]
+fn sync_messages_only_in_adaptive_sync_phases() {
+    let r = &mut gen::WeightRng::new(11);
+    let g = gen::random_connected(80, 200, r);
+    // Uncontrolled floods are Θ(n) worst case, so every adaptive phase
+    // ends by sync: the b:sync tag must appear, and only there.
+    let unc = ElkinConfig { merge_control: MergeControl::Uncontrolled, ..Default::default() };
+    let fixed = run_mst(&g, &unc).unwrap();
+    assert_eq!(fixed.stats.messages_with_tag("b:sync"), 0, "fixed mode must never sync");
+    let ada = run_mst(&g, &unc.with_schedule_mode(ScheduleMode::Adaptive)).unwrap();
+    assert!(
+        ada.stats.messages_with_tag("b:sync") > 0,
+        "adaptive uncontrolled phases must end via the sync protocol"
+    );
+    assert!(
+        ada.stats.rounds < fixed.stats.rounds / 2,
+        "sync-ended phases must beat the Θ(n) flood windows ({} vs {})",
+        ada.stats.rounds,
+        fixed.stats.rounds
+    );
 }
 
 #[test]

@@ -23,11 +23,12 @@
 //! use dmst::graphs::generators as gen;
 //!
 //! let g = gen::grid_2d(4, 4, &mut gen::WeightRng::new(11));
-//! testkit::assert_all_match(&g, "doc-grid"); // Elkin + GHS + Pipeline vs Kruskal
+//! testkit::assert_all_match(&g, "doc-grid"); // Elkin (both modes) + GHS + Pipeline vs Kruskal
 //! ```
 
 use crate::baselines::{run_ghs, run_pipeline};
-use crate::core::{analyze_forest, run_forest, run_mst, ElkinConfig, MergeControl};
+use crate::congest::RunStats;
+use crate::core::{analyze_forest, run_forest, run_mst, ElkinConfig, MergeControl, ScheduleMode};
 use crate::graphs::{generators as gen, mst, EdgeId, UnionFind, WeightedGraph};
 
 /// One distributed MST algorithm under conformance test.
@@ -42,14 +43,24 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// The three algorithms, each in its default configuration.
+    /// The algorithms under conformance test: Elkin in both schedule
+    /// modes, plus the two baselines, each otherwise in its default
+    /// configuration.
     pub fn all() -> Vec<Algorithm> {
-        vec![Algorithm::Elkin(ElkinConfig::default()), Algorithm::Ghs, Algorithm::Pipeline]
+        vec![
+            Algorithm::Elkin(ElkinConfig::default()),
+            Algorithm::Elkin(ElkinConfig::adaptive()),
+            Algorithm::Ghs,
+            Algorithm::Pipeline,
+        ]
     }
 
     /// Display name for diagnostics.
     pub fn name(&self) -> &'static str {
         match self {
+            Algorithm::Elkin(cfg) if cfg.schedule_mode == ScheduleMode::Adaptive => {
+                "elkin-adaptive"
+            }
             Algorithm::Elkin(_) => "elkin",
             Algorithm::Ghs => "ghs",
             Algorithm::Pipeline => "pipeline",
@@ -65,18 +76,86 @@ impl Algorithm {
     /// Stringified runner error (disconnected input, simulator violation,
     /// inconsistent output).
     pub fn run(&self, g: &WeightedGraph) -> Result<(Vec<EdgeId>, u128), String> {
+        self.run_stats(g).map(|(edges, weight, _)| (edges, weight))
+    }
+
+    /// Like [`Algorithm::run`], but also returns the simulator's
+    /// [`RunStats`] — the raw material for round/message budget pins.
+    ///
+    /// # Errors
+    ///
+    /// Stringified runner error, as for [`Algorithm::run`].
+    pub fn run_stats(&self, g: &WeightedGraph) -> Result<(Vec<EdgeId>, u128, RunStats), String> {
         match self {
-            Algorithm::Elkin(cfg) => {
-                run_mst(g, cfg).map(|r| (r.edges, r.total_weight)).map_err(|e| e.to_string())
-            }
+            Algorithm::Elkin(cfg) => run_mst(g, cfg)
+                .map(|r| (r.edges, r.total_weight, r.stats))
+                .map_err(|e| e.to_string()),
             Algorithm::Ghs => {
-                run_ghs(g).map(|r| (r.edges, r.total_weight)).map_err(|e| e.to_string())
+                run_ghs(g).map(|r| (r.edges, r.total_weight, r.stats)).map_err(|e| e.to_string())
             }
-            Algorithm::Pipeline => {
-                run_pipeline(g).map(|r| (r.edges, r.total_weight)).map_err(|e| e.to_string())
-            }
+            Algorithm::Pipeline => run_pipeline(g)
+                .map(|r| (r.edges, r.total_weight, r.stats))
+                .map_err(|e| e.to_string()),
         }
     }
+}
+
+/// A pinned complexity budget for one `(algorithm, workload)` pair: golden
+/// round/message counts from a healthy run, plus a stated multiplicative
+/// slack. [`assert_round_budget`] turns the pin into a regression test that
+/// fails `cargo test` instead of silently drifting in EXPERIMENTS.md
+/// tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundBudget {
+    /// Golden number of rounds.
+    pub rounds: u64,
+    /// Golden number of messages.
+    pub messages: u64,
+    /// Multiplicative headroom (e.g. `1.10` = 10%). Measured counts above
+    /// `golden * slack` fail; counts below `golden / (2 * slack)` also
+    /// fail, flagging a stale pin that should be re-measured.
+    pub slack: f64,
+}
+
+impl RoundBudget {
+    /// A budget with the suite's standard 10% slack.
+    pub fn new(rounds: u64, messages: u64) -> Self {
+        Self { rounds, messages, slack: 1.10 }
+    }
+}
+
+/// Runs `algo` on `g`, asserts the MST matches the Kruskal oracle, and
+/// asserts rounds and messages stay inside `budget` (both directions; see
+/// [`RoundBudget::slack`]). The simulator is fully deterministic, so equal
+/// inputs give bit-equal counts and the slack only absorbs intentional
+/// algorithm changes — anything larger must re-pin consciously.
+///
+/// # Panics
+///
+/// Panics with `label`, the algorithm name, and the measured-vs-pinned
+/// counts on any violation.
+pub fn assert_round_budget(algo: &Algorithm, g: &WeightedGraph, label: &str, budget: &RoundBudget) {
+    let truth = mst::kruskal(g);
+    let (edges, _, stats) =
+        algo.run_stats(g).unwrap_or_else(|e| panic!("{} failed on {label}: {e}", algo.name()));
+    assert_eq!(edges, truth.edges, "{} produced a wrong MST on {label}", algo.name());
+    let check = |what: &str, measured: u64, pinned: u64| {
+        let hi = (pinned as f64 * budget.slack).ceil() as u64;
+        let lo = (pinned as f64 / (2.0 * budget.slack)).floor() as u64;
+        assert!(
+            measured <= hi,
+            "{} {what} regression on {label}: measured {measured} > pinned {pinned} (+{:.0}% slack)",
+            algo.name(),
+            (budget.slack - 1.0) * 100.0
+        );
+        assert!(
+            measured >= lo,
+            "{} {what} pin stale on {label}: measured {measured} << pinned {pinned} — re-pin the budget",
+            algo.name()
+        );
+    };
+    check("rounds", stats.rounds, budget.rounds);
+    check("messages", stats.messages, budget.messages);
 }
 
 /// Runs `algo` on `g` and asserts its output equals the golden Kruskal MST
@@ -98,8 +177,9 @@ pub fn assert_matches_oracle(algo: &Algorithm, g: &WeightedGraph, label: &str) {
     );
 }
 
-/// Asserts all three distributed algorithms (default configurations) match
-/// the Kruskal oracle on `g`.
+/// Asserts every algorithm in [`Algorithm::all`] (Elkin in both schedule
+/// modes, GHS, Pipeline; default configurations) matches the Kruskal
+/// oracle on `g`.
 ///
 /// # Panics
 ///
@@ -136,23 +216,27 @@ pub fn family_matrix(rng: &mut gen::WeightRng) -> Vec<(&'static str, WeightedGra
 }
 
 /// The `ElkinConfig` knob matrix for a graph on `n` vertices: bandwidth ×
-/// `k` override × merge control × root placement. Roots outside `0..n` are
-/// clamped away, and duplicate configurations are removed.
+/// `k` override × merge control × schedule mode × root placement. Roots
+/// outside `0..n` are clamped away, and duplicate configurations are
+/// removed.
 pub fn config_matrix(n: usize) -> Vec<ElkinConfig> {
     let mut out = Vec::new();
     for b in [1u32, 2, 3, 8] {
         for k in [None, Some(1), Some(5), Some(16), Some(200)] {
             for mode in [MergeControl::Matched, MergeControl::Uncontrolled] {
-                for root in [0, n / 3, n.saturating_sub(1)] {
-                    let cfg = ElkinConfig {
-                        bandwidth: b,
-                        k_override: k,
-                        root,
-                        merge_control: mode,
-                        ..ElkinConfig::default()
-                    };
-                    if !out.contains(&cfg) {
-                        out.push(cfg);
+                for sched in [ScheduleMode::Fixed, ScheduleMode::Adaptive] {
+                    for root in [0, n / 3, n.saturating_sub(1)] {
+                        let cfg = ElkinConfig {
+                            bandwidth: b,
+                            k_override: k,
+                            root,
+                            merge_control: mode,
+                            schedule_mode: sched,
+                            ..ElkinConfig::default()
+                        };
+                        if !out.contains(&cfg) {
+                            out.push(cfg);
+                        }
                     }
                 }
             }
@@ -272,9 +356,39 @@ mod tests {
     #[test]
     fn algorithm_names_and_all() {
         let all = Algorithm::all();
-        assert_eq!(all.len(), 3);
+        assert_eq!(all.len(), 4);
         let names: Vec<&str> = all.iter().map(Algorithm::name).collect();
-        assert_eq!(names, ["elkin", "ghs", "pipeline"]);
+        assert_eq!(names, ["elkin", "elkin-adaptive", "ghs", "pipeline"]);
+    }
+
+    #[test]
+    fn round_budget_accepts_exact_and_slack() {
+        let g = gen::path(12, &mut gen::WeightRng::new(3));
+        let algo = Algorithm::Ghs;
+        let (_, _, stats) = algo.run_stats(&g).unwrap();
+        let budget = RoundBudget::new(stats.rounds, stats.messages);
+        assert_round_budget(&algo, &g, "self-pin", &budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds regression")]
+    fn round_budget_rejects_regression() {
+        let g = gen::path(12, &mut gen::WeightRng::new(3));
+        let algo = Algorithm::Ghs;
+        let (_, _, stats) = algo.run_stats(&g).unwrap();
+        // Pin far below the measured counts: the run must trip the bound.
+        let budget = RoundBudget::new(stats.rounds / 2, stats.messages);
+        assert_round_budget(&algo, &g, "too-tight-pin", &budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "pin stale")]
+    fn round_budget_rejects_stale_pin() {
+        let g = gen::path(12, &mut gen::WeightRng::new(3));
+        let algo = Algorithm::Ghs;
+        let (_, _, stats) = algo.run_stats(&g).unwrap();
+        let budget = RoundBudget::new(stats.rounds * 4, stats.messages);
+        assert_round_budget(&algo, &g, "stale-pin", &budget);
     }
 
     #[test]

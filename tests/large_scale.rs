@@ -9,6 +9,30 @@ use dmst::baselines::run_pipeline;
 use dmst::core::{run_mst, ElkinConfig};
 use dmst::graphs::{generators as gen, mst};
 
+/// Promoted from the `#[ignore]`d set: the T1 cliquepath at n = 2304 —
+/// the workload that motivated adaptive scheduling — now runs in the
+/// default suite, because `ScheduleMode::Adaptive` cuts it from ~51k
+/// rounds (Fixed, k = Θ(H)) to ~12.5k. The absolute cap below *is* the
+/// acceptance bar: 1/3 of the measured 51258-round Fixed baseline (see
+/// EXPERIMENTS.md T1); `tests/round_pins.rs` checks the ratio directly in
+/// release CI.
+#[test]
+fn cliquepath_2304_adaptive_within_budget() {
+    let g = dmst_bench::standard_trio(2304, 0x51)
+        .into_iter()
+        .find(|w| w.name.starts_with("cliquepath"))
+        .expect("trio contains a cliquepath")
+        .graph;
+    let truth = mst::kruskal(&g);
+    let run = run_mst(&g, &ElkinConfig::adaptive()).expect("adaptive run");
+    assert_eq!(run.edges, truth.edges);
+    assert!(
+        run.stats.rounds <= 51258 / 3,
+        "adaptive cliquepath rounds {} exceed 1/3 of the Fixed baseline",
+        run.stats.rounds
+    );
+}
+
 #[test]
 #[ignore = "large: run with --release -- --ignored"]
 fn torus_16k_all_checks() {
@@ -36,6 +60,24 @@ fn random_16k_bandwidth_sweep() {
         assert!(run.stats.rounds <= prev_rounds, "rounds must not grow with b");
         prev_rounds = run.stats.rounds;
     }
+}
+
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn cliquepath_4608_both_modes() {
+    let r = &mut gen::WeightRng::new(0x19);
+    let g = gen::path_of_cliques(576, 8, r); // n = 4608, D = Θ(n)
+    let truth = mst::kruskal(&g);
+    let fixed = run_mst(&g, &ElkinConfig::default()).expect("fixed");
+    let ada = run_mst(&g, &ElkinConfig::adaptive()).expect("adaptive");
+    assert_eq!(fixed.edges, truth.edges);
+    assert_eq!(ada.edges, truth.edges);
+    assert!(
+        3 * ada.stats.rounds <= fixed.stats.rounds,
+        "adaptive ({}) should keep >= 3x over fixed ({}) as the cliquepath grows",
+        ada.stats.rounds,
+        fixed.stats.rounds
+    );
 }
 
 #[test]
