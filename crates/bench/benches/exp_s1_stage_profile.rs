@@ -26,6 +26,12 @@ fn main() {
             ElkinConfig::default(),
         ),
         (
+            // The T1 headline workload: the n = 2304 cliquepath whose
+            // Stage D the fused phases target (PR 3).
+            Workload::new("cliquepath 288x8 (auto)", gen::path_of_cliques(288, 8, r)),
+            ElkinConfig::default(),
+        ),
+        (
             Workload::new("random 1024 (auto)", gen::random_connected(1024, 3072, r)),
             ElkinConfig::default(),
         ),

@@ -14,8 +14,9 @@
 //! removes most of Elkin's fixed-window penalty.
 //!
 //! Pass `--smoke` to run only the CI guard: the n = 2304 cliquepath in
-//! both modes (asserting the >= 3x adaptive win) plus one low-diameter
-//! sanity point.
+//! both modes (asserting the >= 3x adaptive win, the fused-Stage-D round
+//! budgets, and the Stage D share ceiling) plus one low-diameter sanity
+//! point.
 
 use dmst_baselines::{run_ghs, run_pipeline};
 use dmst_bench::{banner, header, row, standard_trio};
@@ -23,23 +24,24 @@ use dmst_core::{run_mst, ElkinConfig};
 
 fn smoke() {
     banner(
-        "T1 (smoke): adaptive-schedule round budget guard",
-        "cliquepath n=2304: Adaptive <= 1/3 of Fixed; identical MST",
+        "T1 (smoke): adaptive-schedule + fused-Stage-D round budget guard",
+        "cliquepath n=2304: Adaptive <= 1/3 of Fixed, total <= 8640, Stage D <= 2820 and <= 36% of the run; identical MST",
     );
-    header(&["workload", "mode", "rounds", "messages"]);
+    header(&["workload", "mode", "rounds", "stage D", "messages"]);
     let cliquepath = standard_trio(2304, 0x51)
         .into_iter()
         .find(|w| w.name.starts_with("cliquepath"))
         .expect("trio contains a cliquepath");
-    let fixed = run_mst(&cliquepath.graph, &ElkinConfig::default()).expect("fixed run");
+    let fixed = run_mst(&cliquepath.graph, &ElkinConfig::fixed()).expect("fixed run");
     let ada = run_mst(&cliquepath.graph, &ElkinConfig::adaptive()).expect("adaptive run");
     assert_eq!(fixed.edges, ada.edges, "schedule mode changed the MST");
-    for (mode, stats) in [("fixed", &fixed.stats), ("adaptive", &ada.stats)] {
+    for (mode, run) in [("fixed", &fixed), ("adaptive", &ada)] {
         row(&[
             cliquepath.name.clone(),
             mode.to_string(),
-            stats.rounds.to_string(),
-            stats.messages.to_string(),
+            run.stats.rounds.to_string(),
+            run.profile.stage_d.to_string(),
+            run.stats.messages.to_string(),
         ]);
     }
     assert!(
@@ -48,12 +50,35 @@ fn smoke() {
         ada.stats.rounds,
         fixed.stats.rounds
     );
+    // Fused-Stage-D gates (PR 3): golden 7853 total / 2565 Stage D rounds
+    // (+10% slack), plus a share ceiling so Stage D cannot quietly become
+    // the bottleneck again. The measured Stage D sits within ~3% of the
+    // 4H + 2k floor of this workload's two Borůvka phases.
+    assert!(
+        ada.stats.rounds <= 8640,
+        "adaptive cliquepath total {} exceeds the 7853-round golden (+10%)",
+        ada.stats.rounds
+    );
+    assert!(
+        ada.profile.stage_d <= 2820,
+        "adaptive cliquepath Stage D {} exceeds the 2565-round golden (+10%)",
+        ada.profile.stage_d
+    );
+    assert!(
+        100 * ada.profile.stage_d <= 36 * ada.stats.rounds,
+        "Stage D share {}/{} exceeds the 36% ceiling on the cliquepath",
+        ada.profile.stage_d,
+        ada.stats.rounds
+    );
     let torus = standard_trio(256, 0x51).into_iter().next().expect("trio has a torus");
-    let tf = run_mst(&torus.graph, &ElkinConfig::default()).expect("torus fixed");
+    let tf = run_mst(&torus.graph, &ElkinConfig::fixed()).expect("torus fixed");
     let ta = run_mst(&torus.graph, &ElkinConfig::adaptive()).expect("torus adaptive");
     assert_eq!(tf.edges, ta.edges);
     assert!(ta.stats.rounds <= tf.stats.rounds, "adaptive must not regress the torus");
-    println!("\nsmoke ok: adaptive/fixed = {}/{}", ada.stats.rounds, fixed.stats.rounds);
+    println!(
+        "\nsmoke ok: adaptive/fixed = {}/{}, stage D = {}",
+        ada.stats.rounds, fixed.stats.rounds, ada.profile.stage_d
+    );
 }
 
 fn main() {
@@ -73,7 +98,7 @@ fn main() {
             let g = &w.graph;
             let ghs = run_ghs(g).expect("ghs run");
             let pipe = run_pipeline(g).expect("pipeline run");
-            let elkin = run_mst(g, &ElkinConfig::default()).expect("elkin run");
+            let elkin = run_mst(g, &ElkinConfig::fixed()).expect("elkin run");
             let ada = run_mst(g, &ElkinConfig::adaptive()).expect("elkin adaptive run");
             assert_eq!(ghs.edges, elkin.edges, "baselines disagree on the MST");
             assert_eq!(pipe.edges, elkin.edges, "baselines disagree on the MST");

@@ -4,9 +4,11 @@ use crate::schedule::{MergeControl, ScheduleMode};
 
 /// Configuration of one algorithm execution.
 ///
-/// The defaults reproduce the paper's Theorem 3.1 setting: standard CONGEST
-/// (`b = 1`), automatic `k = max(sqrt(n/b), H)`, matched merging, fixed
-/// Stage B windows, BFS root at vertex 0.
+/// The defaults reproduce the paper's Theorem 3.1 setting — standard
+/// CONGEST (`b = 1`), automatic `k`, matched merging, BFS root at vertex 0
+/// — under the adaptive Stage B schedule ([`ScheduleMode::Adaptive`], the
+/// default since PR 3; it never changes the output MST). Use
+/// [`ElkinConfig::fixed`] for the seed's padded worst-case windows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ElkinConfig {
     /// The `b` of `CONGEST(b log n)` (Theorem 3.2). Must be positive.
@@ -43,7 +45,7 @@ impl Default for ElkinConfig {
             k_override: None,
             root: 0,
             merge_control: MergeControl::Matched,
-            schedule_mode: ScheduleMode::Fixed,
+            schedule_mode: ScheduleMode::Adaptive,
             stop_after_forest: false,
         }
     }
@@ -71,9 +73,17 @@ impl ElkinConfig {
     }
 
     /// Adaptive Stage B scheduling (tight windows, sync-ended phases,
-    /// adaptive-k) with paper defaults otherwise.
+    /// adaptive-k) with paper defaults otherwise. Since PR 3 this *is*
+    /// the default; the builder is kept for call sites that want to be
+    /// explicit about it.
     pub fn adaptive() -> Self {
         Self { schedule_mode: ScheduleMode::Adaptive, ..Self::default() }
+    }
+
+    /// The seed's fixed Stage B scheduling (padded worst-case windows,
+    /// `k = max(sqrt(n/b), H)`) with paper defaults otherwise.
+    pub fn fixed() -> Self {
+        Self { schedule_mode: ScheduleMode::Fixed, ..Self::default() }
     }
 
     /// Returns this configuration with the given schedule mode.
@@ -100,10 +110,12 @@ mod tests {
         assert_eq!(ElkinConfig::with_bandwidth(4).bandwidth, 4);
         assert_eq!(ElkinConfig::with_k(0).k_override, Some(1));
         assert_eq!(ElkinConfig::adaptive().schedule_mode, ScheduleMode::Adaptive);
+        assert_eq!(ElkinConfig::fixed().schedule_mode, ScheduleMode::Fixed);
         assert_eq!(
-            ElkinConfig::with_k(7).with_schedule_mode(ScheduleMode::Adaptive).k_override,
+            ElkinConfig::with_k(7).with_schedule_mode(ScheduleMode::Fixed).k_override,
             Some(7)
         );
-        assert_eq!(ElkinConfig::default().schedule_mode, ScheduleMode::Fixed);
+        // Adaptive has soaked (PR 2 -> PR 3) and is now the default.
+        assert_eq!(ElkinConfig::default().schedule_mode, ScheduleMode::Adaptive);
     }
 }

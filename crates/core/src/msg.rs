@@ -164,38 +164,42 @@ pub enum Msg {
     Register {
         /// Slot of the registering fragment root.
         slot: u64,
-        /// Height of the base fragment (diagnostics for the BFS root).
-        height: u64,
     },
     /// Pipeline completion marker for the registration upcast.
     RegDone,
     /// Base-fragment root tells its vertices their initial coarse id.
+    /// Receiving it (or owning a slot, at fragment roots) *is* the start
+    /// of Borůvka phase 0 — there is no separate start broadcast.
     InitCoarse {
         /// Initial coarse fragment id (the root's slot).
         id: u64,
     },
 
-    // ---- Stage D: Boruvka on top of the base forest (paper §3) ----
-    /// Root broadcast opening phase `j`.
-    StartPhase {
-        /// Phase index.
-        j: u64,
-    },
+    // ---- Stage D: Boruvka on top of the base forest (paper §3).
+    //
+    // Phases are event-driven and fused: no per-phase barrier messages
+    // exist. A vertex announces phase `j` as soon as its coarse id for `j`
+    // is current, aggregates its fragment subtree as soon as all of its
+    // *own* neighbors' announcements have landed, and starts phase `j+1`
+    // the moment the phase-`j` answer (`Assign`/`NewCoarse`, which carry
+    // the next phase) reaches it. Neighboring vertices are never more
+    // than one phase apart (the per-phase `UpDone` convergecast gates the
+    // root merge on every vertex), so receivers classify `CoarseAnnounce`
+    // / `Candidate` / `UpDone` by per-port FIFO counting. ----
     /// Per-phase refresh of `(coarse id, sender id)` to all neighbors.
+    /// Sent exactly once per phase in phase order, so the receiver infers
+    /// the phase from its per-port receive count (per-edge FIFO).
     CoarseAnnounce {
         /// Sender's current coarse fragment id.
         coarse: u64,
         /// Sender's vertex id.
         me: u64,
     },
-    /// Barrier convergecast: my subtree finished announcing/receiving.
-    AnnDone,
-    /// Root broadcast: announce barrier passed, fragment MWOE search may go.
-    MwoeGo,
-    /// Base-fragment-internal broadcast starting the MWOE search.
-    FragProbe,
-    /// Base-fragment convergecast of the best candidate w.r.t. the coarse
-    /// partition.
+    /// Event-driven base-fragment convergecast of the best candidate
+    /// w.r.t. the coarse partition: sent to the fragment parent as soon
+    /// as the sender is locally ready (all neighbor announcements in) and
+    /// its fragment subtree has reported. Always matches the receiver's
+    /// current phase (the subtree cannot outrun its own fragment root).
     FragMwoeUp {
         /// Best candidate in the subtree (key + coarse ids), if any.
         cand: Option<(CandKey, u64, u64)>,
@@ -205,9 +209,13 @@ pub enum Msg {
         /// The record.
         rec: Candidate,
     },
-    /// Pipeline completion marker for the candidate upcast.
+    /// Pipeline completion marker for the candidate upcast: sent once per
+    /// phase in phase order (receivers count per port, like
+    /// [`Msg::CoarseAnnounce`]).
     UpDone,
     /// Interval-routed answer to one base fragment (pipelined downcast).
+    /// Carries the *next* phase index: receipt is the start-of-phase
+    /// signal, so fragments re-announce immediately.
     Assign {
         /// Destination slot (the base fragment root's interval start).
         dest_slot: u64,
@@ -217,20 +225,27 @@ pub enum Msg {
         chosen: bool,
         /// Whether the algorithm is globally finished after this phase.
         done: bool,
+        /// The phase the destination fragment starts on receipt (answered
+        /// phase + 1).
+        next: u64,
     },
-    /// Base-fragment-internal broadcast of the new coarse id (+ done flag).
+    /// Base-fragment-internal broadcast of the new coarse id (+ done flag
+    /// + next phase): the fragment-local leg of [`Msg::Assign`].
     NewCoarse {
         /// New coarse id.
         id: u64,
         /// Global termination flag.
         done: bool,
+        /// The phase the receiver starts immediately (answered phase + 1).
+        next: u64,
     },
     /// Downcast along the remembered argmin path: mark the candidate edge.
+    /// Travels the same fragment-tree edges as the same phase's
+    /// [`Msg::NewCoarse`] and is always sent *before* it, so per-edge FIFO
+    /// guarantees it reaches each hop's `DScratch` before the phase rolls.
     MarkPath,
     /// Marks the far endpoint of a chosen MST edge across the edge itself.
     MarkCross,
-    /// Barrier convergecast: my subtree finished phase `j` housekeeping.
-    PhaseDone,
 }
 
 impl Message for Msg {
@@ -246,13 +261,9 @@ impl Message for Msg {
             | Msg::MergePath
             | Msg::MergeCross
             | Msg::RegDone
-            | Msg::AnnDone
-            | Msg::MwoeGo
-            | Msg::FragProbe
             | Msg::UpDone
             | Msg::MarkPath
-            | Msg::MarkCross
-            | Msg::PhaseDone => 1,
+            | Msg::MarkCross => 1,
             Msg::Probe { .. }
             | Msg::ConnectReq { .. }
             | Msg::KidsUp { .. }
@@ -264,18 +275,16 @@ impl Message for Msg {
             | Msg::MatchedUp { .. }
             | Msg::NewFrag { .. }
             | Msg::InitCoarse { .. }
-            | Msg::StartPhase { .. } => 1,
+            | Msg::Register { .. } => 1,
             Msg::SizeUp { .. }
             | Msg::FragAnnounce { .. }
             | Msg::FloodAck { .. }
             | Msg::SyncNoFlood { .. }
             | Msg::SyncUp { .. }
             | Msg::Interval { .. }
-            | Msg::Register { .. }
-            | Msg::CoarseAnnounce { .. }
-            | Msg::NewCoarse { .. } => 2,
-            Msg::Assign { .. } | Msg::SyncStart { .. } => 3,
-            Msg::Params { .. } | Msg::MwoeUp { .. } => 4,
+            | Msg::CoarseAnnounce { .. } => 2,
+            Msg::NewCoarse { .. } | Msg::SyncStart { .. } => 3,
+            Msg::Params { .. } | Msg::MwoeUp { .. } | Msg::Assign { .. } => 4,
             Msg::FragMwoeUp { .. } => 5,
             Msg::Candidate { .. } => 6,
         }
@@ -304,9 +313,8 @@ impl Message for Msg {
             Msg::Interval { .. } | Msg::Register { .. } | Msg::RegDone | Msg::InitCoarse { .. } => {
                 "c:intervals"
             }
-            Msg::StartPhase { .. } | Msg::AnnDone | Msg::MwoeGo | Msg::PhaseDone => "d:control",
             Msg::CoarseAnnounce { .. } => "d:announce",
-            Msg::FragProbe | Msg::FragMwoeUp { .. } => "d:fragmwoe",
+            Msg::FragMwoeUp { .. } => "d:fragmwoe",
             Msg::Candidate { .. } | Msg::UpDone => "d:upcast",
             Msg::Assign { .. } => "d:downcast",
             Msg::NewCoarse { .. } | Msg::MarkPath | Msg::MarkCross => "d:newcoarse",
@@ -331,7 +339,8 @@ mod tests {
             Msg::MwoeUp { cand: Some(CandKey::new(1, 2, 3)), overflow: false },
             Msg::FragMwoeUp { cand: Some((CandKey::new(1, 2, 3), 4, 5)) },
             Msg::Candidate { rec },
-            Msg::Assign { dest_slot: 1, new_coarse: 2, chosen: true, done: false },
+            Msg::Assign { dest_slot: 1, new_coarse: 2, chosen: true, done: false, next: 3 },
+            Msg::NewCoarse { id: 2, done: false, next: 3 },
         ];
         for m in samples {
             assert!(m.words() >= 1 && m.words() <= 8, "{m:?} out of unit budget");
@@ -340,10 +349,17 @@ mod tests {
     }
 
     #[test]
+    fn register_is_one_word() {
+        // Regression (PR 3): `Register` used to drag a dead `height` field
+        // that doubled its cost against the per-edge word budget.
+        assert_eq!(Msg::Register { slot: 9 }.words(), 1);
+    }
+
+    #[test]
     fn tags_group_by_stage() {
         assert_eq!(Msg::Bfs.tag(), "a:bfs");
         assert_eq!(Msg::NewFrag { id: 3 }.tag(), "b:merge");
-        assert_eq!(Msg::Register { slot: 0, height: 1 }.tag(), "c:intervals");
+        assert_eq!(Msg::Register { slot: 0 }.tag(), "c:intervals");
         assert_eq!(Msg::UpDone.tag(), "d:upcast");
         for m in [
             Msg::FloodAck { phase: 1 },

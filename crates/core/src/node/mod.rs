@@ -12,12 +12,13 @@
 //! * **Stage C** (`stage_cd.rs`): interval labeling of the BFS tree and
 //!   pipelined registration of base-fragment roots (paper §3).
 //! * **Stage D** (`stage_cd.rs`): Borůvka phases over the base forest with
-//!   pipelined, filtered candidate upcasts and interval-routed downcasts,
-//!   coordinated by BFS-tree barriers (paper §3).
+//!   pipelined, filtered candidate upcasts and interval-routed downcasts
+//!   (paper §3). Phases are *fused*: there is no per-phase barrier — every
+//!   sub-step triggers on local completion events, and the next phase rides
+//!   the previous phase's answer path (see `stage_cd.rs` and DESIGN.md §2).
 //!
-//! Stages C/D are event-driven (explicit completion/barrier messages) rather
-//! than window-scheduled; DESIGN.md §6 explains why this is faithful to the
-//! paper's cost accounting.
+//! Stages C/D are event-driven (completion messages, not round windows);
+//! DESIGN.md explains why this is faithful to the paper's cost accounting.
 
 mod stage_a;
 mod stage_b;
@@ -120,21 +121,30 @@ pub(crate) struct CState {
     pub reg_done_sent: bool,
 }
 
-/// Per-phase Stage D scratch.
+/// Per-phase Stage D scratch, replaced wholesale when the phase rolls
+/// (`ElkinNode::cd_roll_phase`, triggered by the `Assign`/`NewCoarse`
+/// answer path). Messages of the *next* phase that arrive early are held
+/// in the node-level skew buffers (`ann_recv_next` & co.) and folded in at
+/// the roll — under the fused-phase protocol neighboring vertices are
+/// never more than one phase apart.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct DScratch {
     /// The phase this scratch belongs to.
     pub phase: u64,
-    pub started: bool,
+    /// This vertex broadcast its `CoarseAnnounce` for `phase`.
     pub announced: bool,
+    /// `CoarseAnnounce`s of `phase` received (aggregation may start at
+    /// `deg` — *local* readiness; no global announce barrier exists).
     pub ann_recv: usize,
-    pub ann_done_children: usize,
-    pub ann_done_sent: bool,
-    pub mwoe_go: bool,
-    pub probed: bool,
-    pub probe_pending: usize,
+    /// `FragMwoeUp`s of `phase` received from fragment children.
+    pub frag_up_recv: usize,
+    /// Running best candidate `(key, src coarse, dst coarse)` over my
+    /// fragment subtree (children merged on arrival, own edges at
+    /// completion).
     pub agg: Option<(CandKey, u64, u64)>,
     pub sel: Sel,
+    /// `FragMwoeUp` sent up (or, at fragment roots, the aggregate turned
+    /// into a pipelined record — see `injected`).
     pub responded: bool,
     pub injected: bool,
     /// Best known candidate per source coarse id (also the BFS root's
@@ -146,9 +156,6 @@ pub(crate) struct DScratch {
     pub up_pending: std::collections::BTreeSet<(CandKey, u64)>,
     pub updone_children: usize,
     pub updone_sent: bool,
-    pub new_coarse_seen: bool,
-    pub phase_done_children: usize,
-    pub phase_done_sent: bool,
 }
 
 /// Coordination state held only by the BFS root (the paper's `rt`, which
@@ -160,7 +167,6 @@ pub(crate) struct RootState {
     pub reg_complete: bool,
     /// Current coarse id of each registered base fragment (by slot).
     pub slot_coarse: HashMap<u64, u64>,
-    pub done_flag: bool,
 }
 
 /// The algorithm's per-vertex program. Construct via [`ElkinNode::new`] and
@@ -218,10 +224,33 @@ pub struct ElkinNode {
     pub(crate) slot: u64,
     pub(crate) child_ivs: Vec<(u64, u64)>,
     pub(crate) coarse: u64,
-    /// `Some(j)`: the coarse id is current for phase `j`.
+    /// `Some(j)`: the coarse id is current for phase `j` (always equal to
+    /// `d.phase` once initialized — the roll and the id update are one
+    /// event).
     pub(crate) coarse_ready: Option<u64>,
     pub(crate) c: CState,
     pub(crate) d: DScratch,
+
+    // Fused-phase skew buffers (survive the per-phase scratch roll).
+    // Per-edge FIFO delivery plus once-per-phase send discipline let the
+    // receiver infer the phase of `CoarseAnnounce`/`Candidate`/`UpDone`
+    // from cumulative per-port counts; anything one phase ahead of the
+    // local scratch parks here until `cd_roll_phase`.
+    /// Per port: total `CoarseAnnounce`s received (the next one from that
+    /// port is for phase `ann_count[q]`).
+    pub(crate) ann_count: Vec<u64>,
+    /// Per port: total `UpDone`s received (candidates arriving from that
+    /// port belong to phase `updone_count[q]`).
+    pub(crate) updone_count: Vec<u64>,
+    /// Per port: coarse id announced for phase `d.phase + 1` (UNKNOWN if
+    /// not yet received).
+    pub(crate) nbr_coarse_next: Vec<u64>,
+    /// Number of phase-`d.phase + 1` announcements already received.
+    pub(crate) ann_recv_next: usize,
+    /// `UpDone`s of phase `d.phase + 1` already received from BFS children.
+    pub(crate) updone_next: usize,
+    /// Candidate records of phase `d.phase + 1` received early.
+    pub(crate) cand_next: Vec<Candidate>,
     /// Pipelined downcast queues, one per BFS child (parallel to
     /// `bfs_children`).
     pub(crate) down: Vec<VecDeque<Msg>>,
@@ -243,7 +272,10 @@ pub struct Milestones {
     pub entered_b: u64,
     /// Entered Stage C (intervals/registration) — end of Stage B.
     pub entered_cd: u64,
-    /// Saw `StartPhase {0}` — end of Stage C.
+    /// Received the initial coarse id (`InitCoarse`, or owning a slot at a
+    /// fragment root) — this vertex can announce Borůvka phase 0, so its
+    /// Stage C is over. Under the fused protocol the registration pipeline
+    /// may still be draining elsewhere; the boundary is per-vertex.
     pub entered_d: u64,
     /// Reached the finished state.
     pub finished_at: u64,
@@ -305,6 +337,12 @@ impl ElkinNode {
             coarse_ready: None,
             c: CState::default(),
             d: DScratch::default(),
+            ann_count: vec![0; deg],
+            updone_count: vec![0; deg],
+            nbr_coarse_next: vec![UNKNOWN; deg],
+            ann_recv_next: 0,
+            updone_next: 0,
+            cand_next: Vec::new(),
             down: Vec::new(),
             root: None,
             ledger: vec![(u64::MAX, 0); deg],
@@ -379,12 +417,19 @@ impl ElkinNode {
         ctx.send(port, msg);
     }
 
-    /// Words still available for pipelined sends on `port` this round,
-    /// keeping one word of headroom for a trailing control message.
+    /// Words still available for pipelined sends on `port` this round.
+    ///
+    /// The full per-edge capacity is handed to the pipelines: within a
+    /// round, every unconditional control send (handler forwards, the
+    /// announce and `FragMwoeUp` steps, the root merge's answers) happens
+    /// *before* the budget-aware flushes, and the remaining completion
+    /// markers (`UpDone`/`RegDone`) are themselves budget-checked — so no
+    /// headroom needs reserving. The simulator's strict capacity check
+    /// loudly rejects any future send that violates this ordering.
     pub(crate) fn pipe_budget(&self, round: u64, port: PortId) -> u32 {
         let cap = 8 * self.cfg.bandwidth;
         let used = if self.ledger[port].0 == round { self.ledger[port].1 } else { 0 };
-        cap.saturating_sub(used).saturating_sub(1)
+        cap.saturating_sub(used)
     }
 }
 
@@ -418,7 +463,10 @@ impl NodeProgram for ElkinNode {
         match self.stage {
             Stage::A => "a",
             Stage::B => "b",
-            // Stage D begins when this vertex saw `StartPhase {0}`.
+            // Stage D begins when this vertex holds its initial coarse id
+            // (it can announce phase 0 from then on). A round counts as
+            // "c" until the last vertex crosses, so the network-level
+            // partition a+b+c+d == rounds still holds under fused phases.
             Stage::CD if self.milestones.entered_d != u64::MAX => "d",
             Stage::CD => "c",
         }

@@ -1,37 +1,50 @@
 //! Stages C and D: interval labeling, fragment registration, and the
-//! Borůvka phases over the base forest (paper §3).
+//! fused, event-driven Borůvka phases over the base forest (paper §3).
 //!
-//! Unlike Stage B, these stages are *event-driven*: sub-steps are separated
-//! by explicit completion markers and BFS-tree barriers instead of fixed
-//! round windows. Each barrier costs `O(H)` rounds and `O(n)` messages per
-//! phase — within the paper's `O((D + k + n/(kb)) log n)` round and
-//! `O((m + n) log n)` message budget for this stage — and keeps measured
-//! round counts honest (no idle padding to window ends).
+//! Unlike Stage B, these stages are *event-driven*: every sub-step triggers
+//! on local completion events. Since PR 3 the Borůvka phases are **fused**
+//! — no per-phase BFS-tree barrier exists. The seed protocol spent four
+//! `O(H)` tree traversals per phase (`AnnDone` up, `MwoeGo` down,
+//! `PhaseDone` up, `StartPhase` down) purely on control flow; the paper's
+//! `O((D + k + n/(kb)) log n)` budget for this stage never required them,
+//! and Pandurangan–Robinson–Scquizzato (arXiv:1703.02411) run the same
+//! Borůvka-over-a-BFS-backbone with phases driven by local completion.
 //!
-//! Per phase `j`:
+//! Per phase `j`, fused:
 //!
-//! 1. `StartPhase` floods down the BFS tree; every vertex announces its
-//!    coarse id to all neighbors once its own id is current; the `AnnDone`
-//!    convergecast tells the root when every announcement has landed.
-//! 2. `MwoeGo` floods down; every base-fragment root runs a
-//!    broadcast/convergecast (`FragProbe` / `FragMwoeUp`) computing the
-//!    lightest edge leaving the *coarse* fragment, remembering the argmin
-//!    path.
-//! 3. Fragment roots inject `Candidate` records into the pipelined upcast:
-//!    every BFS vertex keeps only the best record per source coarse id,
-//!    forwards improvements smallest-key-first under the per-edge word
-//!    budget, and sends `UpDone` when its subtree is exhausted.
-//! 4. The BFS root merges the fragment graph locally (union–find over
-//!    coarse ids, one MWOE per coarse fragment — exactly the computation
-//!    the paper assigns to `rt`), picks the chosen MST edges, and answers
-//!    every base fragment with an interval-routed, pipelined `Assign`.
-//! 5. Fragment roots broadcast `NewCoarse` internally; chosen candidates
-//!    are marked by a `MarkPath` downcast along the remembered argmin path
-//!    plus a `MarkCross` over the edge itself. The `PhaseDone` convergecast
-//!    triggers the next phase; `done` rides the `Assign`/`NewCoarse`
-//!    messages when one coarse fragment remains.
+//! 1. A vertex broadcasts `CoarseAnnounce` to all neighbors the moment its
+//!    coarse id for phase `j` is current (`InitCoarse` for `j = 0`, the
+//!    `Assign`/`NewCoarse` answer of phase `j - 1` otherwise).
+//! 2. It aggregates its *fragment subtree* as soon as all of its **own**
+//!    neighbors' announcements have landed (local readiness — no global
+//!    announce barrier) and all fragment children reported, then sends
+//!    `FragMwoeUp` to its fragment parent; fragment roots turn the
+//!    aggregate into a pipelined `Candidate` record instead.
+//! 3. Candidates flow up the BFS tree filtered per coarse id; `UpDone`
+//!    retires a subtree. This convergecast is the *only* per-phase global
+//!    serialization — it is what the root merge needs anyway, and it
+//!    bounds the phase skew between any two vertices to one.
+//! 4. The BFS root merges the fragment graph locally (exactly the
+//!    computation the paper assigns to `rt`) and answers every base
+//!    fragment with an interval-routed, pipelined `Assign` **carrying
+//!    phase `j + 1`**: receipt closes phase `j` and opens `j + 1` in one
+//!    event, so fragments re-announce immediately.
+//! 5. Fragment roots broadcast `NewCoarse` (also carrying `j + 1`); chosen
+//!    candidates are marked by a `MarkPath` downcast along the remembered
+//!    argmin path plus a `MarkCross` over the edge itself. `MarkPath` is
+//!    always sent before the same edge's `NewCoarse`, so per-edge FIFO
+//!    delivers it while the phase-`j` scratch (and its `Sel`) is intact.
+//!    Termination needs no extra control flow: `done` rides the final
+//!    answer path and every vertex quiesces once its queues drain.
+//!
+//! Messages of phase `j + 1` can arrive while a vertex still works on `j`
+//! (its own answer may be stuck in the pipelined downcast); they park in
+//! the node-level skew buffers and fold in when the phase rolls. Skew
+//! beyond one phase is impossible: the root cannot merge `j + 1` before
+//! every vertex contributed `UpDone` for it, which requires that vertex to
+//! have finished `j`.
 
-use congest_sim::{PortId, RoundCtx};
+use congest_sim::{Message as _, RoundCtx};
 
 use crate::candidate::{CandKey, Candidate};
 use crate::msg::Msg;
@@ -58,7 +71,7 @@ impl ElkinNode {
 
     /// Receive my interval, hand sub-intervals to my BFS children, and (if I
     /// root a base fragment) register with the BFS root and initialize my
-    /// fragment's coarse id.
+    /// fragment's coarse id — which opens Borůvka phase 0 for me.
     fn cd_take_interval(&mut self, ctx: &mut RoundCtx<'_, Msg>, start: u64) {
         self.slot = start;
         self.c.interval_received = true;
@@ -77,6 +90,7 @@ impl ElkinNode {
             }
             self.coarse = slot;
             self.coarse_ready = Some(0);
+            self.milestones.entered_d = ctx.round();
             for &q in &self.frag_children.clone() {
                 self.send_cd(ctx, q, Msg::InitCoarse { id: slot });
             }
@@ -91,11 +105,12 @@ impl ElkinNode {
                 Msg::InitCoarse { id } => {
                     self.coarse = id;
                     self.coarse_ready = Some(0);
+                    self.milestones.entered_d = ctx.round();
                     for &q in &self.frag_children.clone() {
                         self.send_cd(ctx, q, Msg::InitCoarse { id });
                     }
                 }
-                Msg::Register { slot, .. } => {
+                Msg::Register { slot } => {
                     if let Some(root) = self.root.as_mut() {
                         root.slots.push(slot);
                         root.slot_coarse.insert(slot, slot);
@@ -110,48 +125,77 @@ impl ElkinNode {
                         self.c.reg_done_children += 1;
                     }
                 }
-                Msg::StartPhase { j } => {
-                    debug_assert_eq!(j, self.d.phase, "phase skew at vertex {}", self.id);
-                    self.d.started = true;
-                    if j == 0 {
-                        self.milestones.entered_d = ctx.round();
-                    }
-                    for &q in &self.bfs_children.clone() {
-                        self.send_cd(ctx, q, Msg::StartPhase { j });
-                    }
-                }
                 Msg::CoarseAnnounce { coarse, me } => {
-                    self.nbr_coarse[port] = coarse;
+                    // The sender announces once per phase in phase order,
+                    // so the per-port count *is* the announce's phase.
                     self.nbr_id[port] = me;
-                    self.d.ann_recv += 1;
-                }
-                Msg::AnnDone => self.d.ann_done_children += 1,
-                Msg::MwoeGo => {
-                    if !self.d.mwoe_go {
-                        self.d.mwoe_go = true;
-                        for &q in &self.bfs_children.clone() {
-                            self.send_cd(ctx, q, Msg::MwoeGo);
-                        }
+                    let ph = self.ann_count[port];
+                    self.ann_count[port] += 1;
+                    if ph == self.d.phase {
+                        self.nbr_coarse[port] = coarse;
+                        self.d.ann_recv += 1;
+                    } else {
+                        debug_assert_eq!(
+                            ph,
+                            self.d.phase + 1,
+                            "announce phase skew > 1 at vertex {}",
+                            self.id
+                        );
+                        self.nbr_coarse_next[port] = coarse;
+                        self.ann_recv_next += 1;
                     }
                 }
-                Msg::FragProbe => self.cd_probe_receive(ctx, port),
                 Msg::FragMwoeUp { cand } => {
+                    // A fragment subtree cannot outrun its own root, so
+                    // this always belongs to the current phase.
+                    debug_assert!(self.frag_children.contains(&port));
+                    debug_assert!(
+                        !self.d.responded,
+                        "FragMwoeUp after subtree completion at vertex {}",
+                        self.id
+                    );
                     if let Some((key, sc, dc)) = cand {
                         if self.d.agg.is_none_or(|(a, _, _)| key < a) {
                             self.d.agg = Some((key, sc, dc));
                             self.d.sel = Sel::Child(port);
                         }
                     }
-                    self.d.probe_pending -= 1;
-                    if self.d.probe_pending == 0 {
-                        self.cd_probe_complete(ctx);
+                    self.d.frag_up_recv += 1;
+                }
+                Msg::Candidate { rec } => {
+                    // Candidates from a port belong to the phase after the
+                    // last `UpDone` seen on it (per-edge FIFO).
+                    let ph = self.updone_count[port];
+                    if ph == self.d.phase {
+                        self.cd_offer(rec);
+                    } else {
+                        debug_assert_eq!(
+                            ph,
+                            self.d.phase + 1,
+                            "candidate phase skew > 1 at vertex {}",
+                            self.id
+                        );
+                        self.cand_next.push(rec);
                     }
                 }
-                Msg::Candidate { rec } => self.cd_offer(rec),
-                Msg::UpDone => self.d.updone_children += 1,
-                Msg::Assign { dest_slot, new_coarse, chosen, done } => {
+                Msg::UpDone => {
+                    let ph = self.updone_count[port];
+                    self.updone_count[port] += 1;
+                    if ph == self.d.phase {
+                        self.d.updone_children += 1;
+                    } else {
+                        debug_assert_eq!(
+                            ph,
+                            self.d.phase + 1,
+                            "UpDone phase skew > 1 at vertex {}",
+                            self.id
+                        );
+                        self.updone_next += 1;
+                    }
+                }
+                Msg::Assign { dest_slot, new_coarse, chosen, done, next } => {
                     if dest_slot == self.slot {
-                        self.cd_consume_assign(ctx, new_coarse, chosen, done);
+                        self.cd_consume_assign(ctx, new_coarse, chosen, done, next);
                     } else {
                         let idx = self.cd_route(dest_slot);
                         self.down[idx].push_back(Msg::Assign {
@@ -159,10 +203,16 @@ impl ElkinNode {
                             new_coarse,
                             chosen,
                             done,
+                            next,
                         });
                     }
                 }
-                Msg::NewCoarse { id, done } => self.cd_apply_new_coarse(ctx, id, done),
+                Msg::NewCoarse { id, done, next } => {
+                    self.cd_apply_new_coarse(ctx, id, done, next);
+                }
+                // `MarkPath` was sent before the same phase's `NewCoarse`
+                // on this edge, so FIFO guarantees it is processed while
+                // `d.sel` still holds the phase's argmin selection.
                 Msg::MarkPath => match self.d.sel {
                     Sel::Mine(q) => {
                         self.mst[q] = true;
@@ -172,34 +222,20 @@ impl ElkinNode {
                     Sel::None => unreachable!("MarkPath reached a subtree without a candidate"),
                 },
                 Msg::MarkCross => self.mst[port] = true,
-                Msg::PhaseDone => self.d.phase_done_children += 1,
                 other => unreachable!("stage C/D received {other:?}"),
             }
         }
     }
 
+    /// Per-round scheduled work. Unconditional control sends (announce,
+    /// `FragMwoeUp`, `NewCoarse`/`MarkPath` via the root merge) run before
+    /// the budget-aware pipeline flushes; `UpDone`/`RegDone` are deferred
+    /// whenever the edge's word budget is exhausted this round, so a shared
+    /// BFS-/fragment-tree edge is never oversubscribed.
     pub(crate) fn cd_act(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
-        // --- Stage C: registration pipeline and its completion barrier ---
-        if self.c.interval_received && !self.c.reg_done_sent {
-            if let Some(parent) = self.bfs_parent {
-                while self.pipe_budget(ctx.round(), parent) >= 2 {
-                    match self.c.reg_queue.pop_front() {
-                        Some(slot) => {
-                            self.send_cd(ctx, parent, Msg::Register { slot, height: 0 });
-                        }
-                        None => break,
-                    }
-                }
-                let my_duty = !self.is_frag_root() || self.c.registered;
-                if my_duty
-                    && self.c.reg_queue.is_empty()
-                    && self.c.reg_done_children == self.bfs_children.len()
-                {
-                    self.send_cd(ctx, parent, Msg::RegDone);
-                    self.c.reg_done_sent = true;
-                }
-            }
-        }
+        let round = ctx.round();
+
+        // --- Stage C: root-side registration completion (gates merge 0).
         if let Some(root) = self.root.as_mut() {
             if !root.reg_complete
                 && self.c.interval_received
@@ -207,17 +243,13 @@ impl ElkinNode {
             {
                 root.reg_complete = true;
                 root.slots.sort_unstable();
-                self.d.started = true;
-                self.milestones.entered_d = ctx.round();
-                for &q in &self.bfs_children.clone() {
-                    self.send_cd(ctx, q, Msg::StartPhase { j: 0 });
-                }
             }
         }
 
-        // --- Stage D per-phase steps, evaluated every round ---
-        // (a) Announce once the phase is open and our coarse id is current.
-        if self.d.started && !self.d.announced && self.coarse_ready == Some(self.d.phase) {
+        // (a) Announce the current phase as soon as the coarse id is
+        // current (for phase 0 that is `InitCoarse` receipt; afterwards
+        // the answer path rolls `coarse_ready` and `d.phase` together).
+        if !self.done_seen && !self.d.announced && self.coarse_ready == Some(self.d.phase) {
             self.d.announced = true;
             let coarse = self.coarse;
             for q in 0..self.deg {
@@ -225,95 +257,99 @@ impl ElkinNode {
             }
         }
 
-        // (b) Announce barrier.
+        // (b) Fragment-subtree aggregation completes on *local* readiness:
+        // all of my own neighbors announced and my fragment children
+        // reported. No probe broadcast and no global go-signal exist.
         if self.d.announced
-            && !self.d.ann_done_sent
+            && !self.d.responded
             && self.d.ann_recv == self.deg
-            && self.d.ann_done_children == self.bfs_children.len()
+            && self.d.frag_up_recv == self.frag_children.len()
         {
-            self.d.ann_done_sent = true;
-            if let Some(parent) = self.bfs_parent {
-                self.send_cd(ctx, parent, Msg::AnnDone);
-            } else {
-                self.d.mwoe_go = true;
-                for &q in &self.bfs_children.clone() {
-                    self.send_cd(ctx, q, Msg::MwoeGo);
+            self.d.responded = true;
+            let (mine, sel) = self.cd_local_candidate();
+            if let Some((key, sc, dc)) = mine {
+                if self.d.agg.is_none_or(|(a, _, _)| key < a) {
+                    self.d.agg = Some((key, sc, dc));
+                    self.d.sel = sel;
                 }
+            }
+            if self.is_frag_root() {
+                self.cd_inject();
+            } else {
+                let up = self.frag_parent.expect("non-root has a fragment parent");
+                self.send_cd(ctx, up, Msg::FragMwoeUp { cand: self.d.agg });
             }
         }
 
-        // (c) Fragment MWOE search kick-off at base-fragment roots.
-        if self.d.mwoe_go && self.is_frag_root() && !self.d.probed {
-            self.d.probed = true;
-            let (agg, sel) = self.cd_local_candidate();
-            self.d.agg = agg;
-            self.d.sel = sel;
-            self.d.probe_pending = self.frag_children.len();
-            if self.d.probe_pending == 0 {
-                self.cd_inject();
-            } else {
-                for &q in &self.frag_children.clone() {
-                    self.send_cd(ctx, q, Msg::FragProbe);
+        // (c) Stage C registration pipeline toward the BFS root.
+        if self.c.interval_received && !self.c.reg_done_sent {
+            if let Some(parent) = self.bfs_parent {
+                while let Some(&slot) = self.c.reg_queue.front() {
+                    let msg = Msg::Register { slot };
+                    if self.pipe_budget(round, parent) < msg.words() {
+                        break;
+                    }
+                    self.c.reg_queue.pop_front();
+                    self.send_cd(ctx, parent, msg);
+                }
+                let my_duty = !self.is_frag_root() || self.c.registered;
+                if my_duty
+                    && self.c.reg_queue.is_empty()
+                    && self.c.reg_done_children == self.bfs_children.len()
+                    && self.pipe_budget(round, parent) >= Msg::RegDone.words()
+                {
+                    self.send_cd(ctx, parent, Msg::RegDone);
+                    self.c.reg_done_sent = true;
                 }
             }
         }
 
         // (d) Candidate pipeline flush toward the BFS parent.
-        if self.bfs_parent.is_some() && !self.d.up_pending.is_empty() {
-            let parent = self.bfs_parent.expect("checked");
-            while self.pipe_budget(ctx.round(), parent) >= 6 {
-                let Some(&(key, sc)) = self.d.up_pending.iter().next() else { break };
-                self.d.up_pending.remove(&(key, sc));
+        if let Some(parent) = self.bfs_parent {
+            while let Some(&(key, sc)) = self.d.up_pending.iter().next() {
                 let rec = self.d.up_best[&sc];
                 debug_assert_eq!(rec.key, key);
+                let msg = Msg::Candidate { rec };
+                if self.pipe_budget(round, parent) < msg.words() {
+                    break;
+                }
+                self.d.up_pending.remove(&(key, sc));
                 self.d.up_sent.insert(sc, key);
-                self.send_cd(ctx, parent, Msg::Candidate { rec });
+                self.send_cd(ctx, parent, msg);
             }
         }
 
-        // (e) Upcast completion / (f) root-local merge.
-        let my_inject_done = self.d.injected || (self.d.mwoe_go && !self.is_frag_root());
-        if !self.d.updone_sent
-            && self.d.mwoe_go
+        // (e) Upcast completion / root-local merge. `UpDone` may fire in
+        // the same round as the last candidate (it follows them in FIFO
+        // order) and is deferred while the edge is full.
+        let my_inject_done = !self.is_frag_root() || self.d.injected;
+        if !self.done_seen
+            && !self.d.updone_sent
             && my_inject_done
             && self.d.updone_children == self.bfs_children.len()
             && self.d.up_pending.is_empty()
         {
-            self.d.updone_sent = true;
             if let Some(parent) = self.bfs_parent {
-                self.send_cd(ctx, parent, Msg::UpDone);
-            } else {
+                if self.pipe_budget(round, parent) >= Msg::UpDone.words() {
+                    self.d.updone_sent = true;
+                    self.send_cd(ctx, parent, Msg::UpDone);
+                }
+            } else if self.root.as_ref().is_some_and(|r| r.reg_complete) {
+                self.d.updone_sent = true;
                 self.cd_root_merge(ctx);
             }
         }
 
-        // Downcast pipeline flush (runs in every phase and after `done`).
+        // (f) Downcast pipeline flush (also drains the answers the root
+        // merge just queued, and keeps draining after `done`).
         for i in 0..self.down.len() {
             let port = self.bfs_children[i];
-            while self.pipe_budget(ctx.round(), port) >= 3 {
-                match self.down[i].pop_front() {
-                    Some(m) => self.send_cd(ctx, port, m),
-                    None => break,
+            while let Some(words) = self.down[i].front().map(Msg::words) {
+                if self.pipe_budget(round, port) < words {
+                    break;
                 }
-            }
-        }
-
-        // (g) Phase barrier / termination.
-        if self.d.new_coarse_seen
-            && !self.done_seen
-            && !self.d.phase_done_sent
-            && self.d.phase_done_children == self.bfs_children.len()
-        {
-            self.d.phase_done_sent = true;
-            if let Some(parent) = self.bfs_parent {
-                self.send_cd(ctx, parent, Msg::PhaseDone);
-                self.d = DScratch { phase: self.d.phase + 1, ..DScratch::default() };
-            } else {
-                let next = self.d.phase + 1;
-                self.d = DScratch { phase: next, started: true, ..DScratch::default() };
-                for &q in &self.bfs_children.clone() {
-                    self.send_cd(ctx, q, Msg::StartPhase { j: next });
-                }
+                let msg = self.down[i].pop_front().expect("front checked above");
+                self.send_cd(ctx, port, msg);
             }
         }
 
@@ -323,6 +359,7 @@ impl ElkinNode {
             && self.c.reg_queue.is_empty()
             && self.down.iter().all(|q| q.is_empty())
         {
+            debug_assert!(self.cand_next.is_empty(), "buffered candidates past termination");
             if !self.finished {
                 self.milestones.finished_at = ctx.round();
             }
@@ -347,34 +384,6 @@ impl ElkinNode {
             }
         }
         (best, sel)
-    }
-
-    fn cd_probe_receive(&mut self, ctx: &mut RoundCtx<'_, Msg>, port: PortId) {
-        debug_assert!(!self.d.probed);
-        debug_assert_eq!(Some(port), self.frag_parent);
-        self.d.probed = true;
-        let (agg, sel) = self.cd_local_candidate();
-        self.d.agg = agg;
-        self.d.sel = sel;
-        self.d.probe_pending = self.frag_children.len();
-        if self.d.probe_pending == 0 {
-            self.send_cd(ctx, port, Msg::FragMwoeUp { cand: self.d.agg });
-            self.d.responded = true;
-        } else {
-            for &q in &self.frag_children.clone() {
-                self.send_cd(ctx, q, Msg::FragProbe);
-            }
-        }
-    }
-
-    fn cd_probe_complete(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
-        if self.is_frag_root() {
-            self.cd_inject();
-        } else if !self.d.responded {
-            self.d.responded = true;
-            let up = self.frag_parent.expect("non-root has a fragment parent");
-            self.send_cd(ctx, up, Msg::FragMwoeUp { cand: self.d.agg });
-        }
     }
 
     /// Fragment root: turn the aggregate into a pipelined record.
@@ -408,10 +417,11 @@ impl ElkinNode {
 
     /// BFS-root-local Borůvka merge of the fragment graph (paper §3: `rt`
     /// computes the MWOEs, merges fragments, and answers every base
-    /// fragment).
-    /// BFS-root-local Borůvka merge of the fragment graph (paper §3: `rt`
-    /// computes the MWOEs, merges fragments, and answers every base
-    /// fragment). The pure computation lives in
+    /// fragment). Under the fused protocol the answers are also the next
+    /// phase's start signal: every `Assign` carries phase `j + 1`, so a
+    /// fragment re-announces the moment its answer lands — the
+    /// `PhaseDone`/`StartPhase` barrier pair this replaces is gone. The
+    /// pure computation lives in
     /// [`merge_fragment_graph`](crate::fraggraph::merge_fragment_graph).
     fn cd_root_merge(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
         let mut root = self.root.take().expect("only the BFS root merges");
@@ -419,9 +429,9 @@ impl ElkinNode {
         let coarse_ids: Vec<u64> = root.slot_coarse.values().copied().collect();
         let outcome = crate::fraggraph::merge_fragment_graph(&coarse_ids, &self.d.up_best);
         let done = outcome.done;
-        root.done_flag = done;
+        let next = self.d.phase + 1;
 
-        // Answer every base fragment with its new coarse id.
+        // Answer every base fragment with its new coarse id (+ next phase).
         let slots = root.slots.clone();
         for &slot in &slots {
             let old = root.slot_coarse[&slot];
@@ -430,7 +440,7 @@ impl ElkinNode {
             let chosen = outcome.chosen_slots.contains(&slot);
             if slot == self.slot {
                 self.root = Some(root);
-                self.cd_consume_assign(ctx, nc, chosen, done);
+                self.cd_consume_assign(ctx, nc, chosen, done, next);
                 root = self.root.take().expect("restored above");
             } else {
                 let idx = self.cd_route(slot);
@@ -439,6 +449,7 @@ impl ElkinNode {
                     new_coarse: nc,
                     chosen,
                     done,
+                    next,
                 });
             }
         }
@@ -451,14 +462,16 @@ impl ElkinNode {
             .unwrap_or_else(|| panic!("slot {dest} not in any child interval of {}", self.id))
     }
 
-    /// A base-fragment root received its phase answer: broadcast the new
-    /// coarse id, mark the chosen edge, and run my own update.
+    /// A base-fragment root received its phase answer: mark the chosen
+    /// edge (before `NewCoarse`, so FIFO protects every hop's `Sel`),
+    /// broadcast the new coarse id, and roll into phase `next` myself.
     fn cd_consume_assign(
         &mut self,
         ctx: &mut RoundCtx<'_, Msg>,
         nc: u64,
         chosen: bool,
         done: bool,
+        next: u64,
     ) {
         debug_assert!(self.is_frag_root());
         if chosen {
@@ -472,24 +485,45 @@ impl ElkinNode {
             }
         }
         for &q in &self.frag_children.clone() {
-            self.send_cd(ctx, q, Msg::NewCoarse { id: nc, done });
+            self.send_cd(ctx, q, Msg::NewCoarse { id: nc, done, next });
         }
-        self.cd_apply_new_coarse_local(nc, done);
+        self.cd_apply_new_coarse_local(nc, done, next);
     }
 
-    fn cd_apply_new_coarse(&mut self, ctx: &mut RoundCtx<'_, Msg>, id: u64, done: bool) {
+    fn cd_apply_new_coarse(&mut self, ctx: &mut RoundCtx<'_, Msg>, id: u64, done: bool, next: u64) {
         for &q in &self.frag_children.clone() {
-            self.send_cd(ctx, q, Msg::NewCoarse { id, done });
+            self.send_cd(ctx, q, Msg::NewCoarse { id, done, next });
         }
-        self.cd_apply_new_coarse_local(id, done);
+        self.cd_apply_new_coarse_local(id, done, next);
     }
 
-    fn cd_apply_new_coarse_local(&mut self, id: u64, done: bool) {
+    /// The one phase-roll call site: adopt the new coarse id, roll the
+    /// scratch, and latch global termination.
+    fn cd_apply_new_coarse_local(&mut self, id: u64, done: bool, next: u64) {
+        debug_assert_eq!(next, self.d.phase + 1, "answer path phase skew at vertex {}", self.id);
         self.coarse = id;
-        self.coarse_ready = Some(self.d.phase + 1);
-        self.d.new_coarse_seen = true;
+        self.coarse_ready = Some(next);
+        self.cd_roll_phase();
         if done {
             self.done_seen = true;
+        }
+    }
+
+    /// Replace the per-phase scratch with a fresh one for `d.phase + 1`,
+    /// folding in whatever next-phase traffic arrived early (the skew
+    /// buffers; see `DScratch`).
+    fn cd_roll_phase(&mut self) {
+        self.d = DScratch { phase: self.d.phase + 1, ..DScratch::default() };
+        self.d.ann_recv = std::mem::take(&mut self.ann_recv_next);
+        self.d.updone_children = std::mem::take(&mut self.updone_next);
+        for q in 0..self.deg {
+            if self.nbr_coarse_next[q] != UNKNOWN {
+                self.nbr_coarse[q] = self.nbr_coarse_next[q];
+                self.nbr_coarse_next[q] = UNKNOWN;
+            }
+        }
+        for rec in std::mem::take(&mut self.cand_next) {
+            self.cd_offer(rec);
         }
     }
 }

@@ -57,7 +57,11 @@ impl From<SimError> for RunError {
 /// vertex is still in ([`RunStats::rounds_by_stage`] via
 /// `NodeProgram::stage_tag`), so boundaries reflect the *last* vertex to
 /// cross each milestone and the four counts partition
-/// [`RunStats::rounds`].
+/// [`RunStats::rounds`]. Stages C and D overlap per vertex under the
+/// fused event-driven protocol (a vertex starts Borůvka phase 0 the
+/// moment it holds its initial coarse id, while registration may still be
+/// draining elsewhere); the laggard rule above keeps the partition exact
+/// regardless — a round is "c" until the last vertex can announce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StageProfile {
     /// Rounds spent in Stage A (BFS + sizes + parameter broadcast).

@@ -82,10 +82,12 @@ pub enum MergeControl {
 pub enum ScheduleMode {
     /// The seed behaviour: padded windows, every phase sleeps out its
     /// worst case, `k = max(sqrt(n/b), H)`.
-    #[default]
     Fixed,
     /// Tightened windows, per-phase scheduled-vs-sync ends, and the
-    /// adaptive-k choice [`choose_k_adaptive`].
+    /// adaptive-k choice [`choose_k_adaptive`]. The default since PR 3
+    /// (soaked through two PRs of conformance coverage); `Fixed` stays a
+    /// supported knob and remains in the conformance matrix.
+    #[default]
     Adaptive,
 }
 

@@ -72,7 +72,7 @@ fn sync_messages_only_in_adaptive_sync_phases() {
     let g = gen::random_connected(80, 200, r);
     // Uncontrolled floods are Θ(n) worst case, so every adaptive phase
     // ends by sync: the b:sync tag must appear, and only there.
-    let unc = ElkinConfig { merge_control: MergeControl::Uncontrolled, ..Default::default() };
+    let unc = ElkinConfig { merge_control: MergeControl::Uncontrolled, ..ElkinConfig::fixed() };
     let fixed = run_mst(&g, &unc).unwrap();
     assert_eq!(fixed.stats.messages_with_tag("b:sync"), 0, "fixed mode must never sync");
     let ada = run_mst(&g, &unc.with_schedule_mode(ScheduleMode::Adaptive)).unwrap();

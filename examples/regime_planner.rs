@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, g) in cases {
         let n = g.num_nodes();
         let d = analysis::diameter_exact(&g);
-        let run = run_mst(&g, &ElkinConfig::default())?;
+        // The paper's regime-following k lives in the Fixed schedule; the
+        // (default) adaptive schedule deliberately pins k = sqrt(n/b).
+        let run = run_mst(&g, &ElkinConfig::fixed())?;
         let sqrt_n = (n as f64).sqrt().round() as u64;
         let regime = if run.k > sqrt_n { "large-D" } else { "small-D" };
         println!(

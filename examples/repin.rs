@@ -1,0 +1,62 @@
+//! Re-pin helper: prints the exact `(rounds, messages)` golden counts for
+//! every workload pinned in `tests/round_pins.rs`, in pin order, so a
+//! conscious protocol change can ratchet the budgets in one run:
+//!
+//! ```text
+//! cargo run --release --example repin            # the n = 256 trio pins
+//! cargo run --release --example repin -- --large # + the n = 1024/2304 cliquepaths
+//! ```
+//!
+//! The simulator is deterministic, so these numbers are bit-exact across
+//! machines and build profiles.
+
+use dmst::core::{run_mst, ElkinConfig};
+use dmst::graphs::generators as gen;
+use dmst::testkit::Algorithm;
+use dmst_bench::standard_trio;
+
+fn print_stats(algo: &Algorithm, g: &dmst::graphs::WeightedGraph, label: &str) {
+    let (_, _, stats) = algo.run_stats(g).unwrap_or_else(|e| panic!("{label}: {e}"));
+    println!(
+        "{label:<24} {:<16} RoundBudget::new({}, {}),",
+        algo.name(),
+        stats.rounds,
+        stats.messages
+    );
+}
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+
+    println!("# tests/round_pins.rs golden counts (pin order)\n");
+    let trio: Vec<_> = standard_trio(256, 0x51).into_iter().map(|w| (w.name, w.graph)).collect();
+    for algo in [
+        Algorithm::Elkin(ElkinConfig::fixed()),
+        Algorithm::Elkin(ElkinConfig::adaptive()),
+        Algorithm::Ghs,
+        Algorithm::Pipeline,
+    ] {
+        for (label, g) in &trio {
+            print_stats(&algo, g, label);
+        }
+        println!();
+    }
+
+    let r = &mut gen::WeightRng::new(0x51);
+    let g1024 = gen::path_of_cliques(128, 8, r);
+    print_stats(&Algorithm::Elkin(ElkinConfig::adaptive()), &g1024, "cliquepath 128x8");
+
+    if large {
+        let g2304 = standard_trio(2304, 0x51)
+            .into_iter()
+            .find(|w| w.name.starts_with("cliquepath"))
+            .expect("trio contains a cliquepath")
+            .graph;
+        let run = run_mst(&g2304, &ElkinConfig::adaptive()).expect("adaptive 2304");
+        let p = run.profile;
+        println!(
+            "cliquepath 288x8 adaptive: rounds {} messages {} profile a/b/c/d = {}/{}/{}/{}",
+            run.stats.rounds, run.stats.messages, p.stage_a, p.stage_b, p.stage_c, p.stage_d
+        );
+    }
+}

@@ -44,11 +44,11 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// The algorithms under conformance test: Elkin in both schedule
-    /// modes, plus the two baselines, each otherwise in its default
-    /// configuration.
+    /// modes (Fixed stays covered although Adaptive is the default), plus
+    /// the two baselines, each otherwise in its default configuration.
     pub fn all() -> Vec<Algorithm> {
         vec![
-            Algorithm::Elkin(ElkinConfig::default()),
+            Algorithm::Elkin(ElkinConfig::fixed()),
             Algorithm::Elkin(ElkinConfig::adaptive()),
             Algorithm::Ghs,
             Algorithm::Pipeline,

@@ -10,12 +10,15 @@ use dmst::core::{run_mst, ElkinConfig};
 use dmst::graphs::{generators as gen, mst};
 
 /// Promoted from the `#[ignore]`d set: the T1 cliquepath at n = 2304 —
-/// the workload that motivated adaptive scheduling — now runs in the
-/// default suite, because `ScheduleMode::Adaptive` cuts it from ~51k
-/// rounds (Fixed, k = Θ(H)) to ~12.5k. The absolute cap below *is* the
-/// acceptance bar: 1/3 of the measured 51258-round Fixed baseline (see
-/// EXPERIMENTS.md T1); `tests/round_pins.rs` checks the ratio directly in
-/// release CI.
+/// the workload that motivated adaptive scheduling — runs in the default
+/// suite. `ScheduleMode::Adaptive` (PR 2) cut it from ~51k rounds (Fixed,
+/// k = Θ(H)) to 12465; the fused event-driven Stage D (PR 3) cuts it
+/// further to 7853, with Stage D itself at 2565 rounds — within ~3% of
+/// the 4H + 2k structural floor of the two Borůvka phases this workload
+/// needs (H = 575, k = 48; see EXPERIMENTS.md S1). The caps are the PR 3
+/// goldens with the suite's standard 10% slack, far inside the issue's
+/// <= 11.5k acceptance bar; `exp_t1_comparison -- --smoke` re-checks
+/// them in release CI together with the Stage D share ceiling.
 #[test]
 fn cliquepath_2304_adaptive_within_budget() {
     let g = dmst_bench::standard_trio(2304, 0x51)
@@ -27,9 +30,14 @@ fn cliquepath_2304_adaptive_within_budget() {
     let run = run_mst(&g, &ElkinConfig::adaptive()).expect("adaptive run");
     assert_eq!(run.edges, truth.edges);
     assert!(
-        run.stats.rounds <= 51258 / 3,
-        "adaptive cliquepath rounds {} exceed 1/3 of the Fixed baseline",
+        run.stats.rounds <= 8640,
+        "adaptive cliquepath rounds {} exceed the 7853-round golden (+10%)",
         run.stats.rounds
+    );
+    assert!(
+        run.profile.stage_d <= 2820,
+        "adaptive cliquepath Stage D rounds {} exceed the 2565-round golden (+10%)",
+        run.profile.stage_d
     );
 }
 
@@ -68,7 +76,7 @@ fn cliquepath_4608_both_modes() {
     let r = &mut gen::WeightRng::new(0x19);
     let g = gen::path_of_cliques(576, 8, r); // n = 4608, D = Θ(n)
     let truth = mst::kruskal(&g);
-    let fixed = run_mst(&g, &ElkinConfig::default()).expect("fixed");
+    let fixed = run_mst(&g, &ElkinConfig::fixed()).expect("fixed");
     let ada = run_mst(&g, &ElkinConfig::adaptive()).expect("adaptive");
     assert_eq!(fixed.edges, truth.edges);
     assert_eq!(ada.edges, truth.edges);

@@ -38,7 +38,7 @@ proptest! {
     /// edge set, and `Adaptive` never uses more rounds than `Fixed`.
     #[test]
     fn adaptive_schedule_same_mst_fewer_rounds(g in connected_graph(), b in 1u32..4) {
-        let fixed_cfg = ElkinConfig { bandwidth: b, ..ElkinConfig::default() };
+        let fixed_cfg = ElkinConfig { bandwidth: b, ..ElkinConfig::fixed() };
         let ada_cfg = fixed_cfg.with_schedule_mode(ScheduleMode::Adaptive);
         let fixed = run_mst(&g, &fixed_cfg).expect("fixed run");
         let ada = run_mst(&g, &ada_cfg).expect("adaptive run");
@@ -50,6 +50,40 @@ proptest! {
             ada.stats.rounds,
             fixed.stats.rounds
         );
+    }
+
+    /// Regression for the fused-phase argmin race (PR 3): `MarkPath`
+    /// retraces the remembered argmin path through per-phase `DScratch`
+    /// that the `NewCoarse` roll replaces — under the barrier protocol a
+    /// late `MarkPath` hit scratch the phase barrier had already reset
+    /// (the `unreachable!` in `cd_handle`). The fix is ordering, not
+    /// state: `MarkPath` is sent before the same edge's `NewCoarse`, so
+    /// per-edge FIFO delivers it while the phase-`j` selection is intact.
+    /// Drive deep fragment trees (tall caterpillar MSTs, forced `k`) with
+    /// colliding weights: a mis-ordered roll either trips that
+    /// `unreachable!` or leaves a chosen edge marked on one endpoint only,
+    /// which `run_mst` rejects as `BadOutput` — so a clean pass asserts
+    /// every chosen edge was marked on both endpoints, every phase.
+    #[test]
+    fn argmin_path_marks_survive_fused_phase_rolls(
+        spine in 4usize..40,
+        legs in 0usize..3,
+        k in 2u64..40,
+        seed in any::<u64>(),
+        wmax in 1u64..20,
+    ) {
+        let r = &mut gen::WeightRng::new(seed);
+        let g = gen::caterpillar(spine, legs, r);
+        // Colliding weights exercise the tie-broken argmin selection.
+        let edges = g.edges().iter().map(|&(u, v, w)| (u, v, w % wmax + 1)).collect();
+        let g = WeightedGraph::new(g.num_nodes(), edges).expect("structure unchanged");
+        let truth = mst::kruskal(&g);
+        let cfg = ElkinConfig { k_override: Some(k), ..ElkinConfig::default() };
+        let run = run_mst(&g, &cfg).expect("fused-phase marks must stay symmetric");
+        prop_assert_eq!(&run.edges, &truth.edges);
+        let fixed = run_mst(&g, &cfg.with_schedule_mode(ScheduleMode::Fixed))
+            .expect("fixed-schedule marks must stay symmetric");
+        prop_assert_eq!(&fixed.edges, &truth.edges);
     }
 
     /// The three sequential oracles agree with each other.
