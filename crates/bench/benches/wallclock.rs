@@ -1,8 +1,15 @@
 //! Criterion wall-clock benches: engineering performance of the substrate
 //! (the paper makes no wall-clock claims; these guard the simulator's and
 //! oracles' throughput so the experiment harness stays usable).
+//!
+//! Pass `--gate` to run the pinned throughput regression gate instead of
+//! the criterion benches: fixed workloads with absolute wallclock ceilings,
+//! the way `tests/round_pins.rs` pins rounds. Release CI runs it as
+//! `cargo bench --bench wallclock -- --gate`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, BatchSize, Criterion};
 
 use congest_sim::{Message, Network, NodeProgram, RoundCtx, RunConfig, Topology};
 use dmst_core::{run_mst, ElkinConfig};
@@ -77,4 +84,56 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_simulator, bench_generators, bench_sequential_mst, bench_end_to_end
 }
-criterion_main!(benches);
+
+/// One pinned throughput check: run `work`, compare against an absolute
+/// wallclock ceiling. Ceilings are ~5x a healthy release measurement (see
+/// EXPERIMENTS.md "Simulator throughput"), so only order-of-magnitude
+/// regressions — an O(n)-per-round scan creeping back in, inbox churn,
+/// a broken fast-forward — trip the gate, not scheduler noise.
+fn gate_check<T>(label: &str, ceiling_ms: u128, work: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = work();
+    let dt = start.elapsed();
+    println!("gate: {label:<40} {:>8.1?}   (ceiling {ceiling_ms} ms)", dt);
+    assert!(
+        dt.as_millis() <= ceiling_ms,
+        "throughput gate '{label}' took {dt:?}, ceiling {ceiling_ms} ms — \
+         simulator hot path has regressed"
+    );
+    out
+}
+
+/// The pinned gate (`--gate`). Debug builds are ~10-20x slower and would
+/// need their own pins; CI runs this under `--release` only.
+fn gate() {
+    // Raw executor overhead: a flood over the 1024-node torus (about 4k
+    // messages in ~65 rounds). Healthy: ~3 ms release.
+    gate_check("simulator/flood_torus_1024", 100, || {
+        let g = gen::torus_2d(32, 32, &mut gen::WeightRng::new(1));
+        let topo = Topology::new(g.num_nodes(), g.edges()).unwrap();
+        let mut net = Network::new(topo, |i| Flood { seen: false, origin: i.id == 0 });
+        net.run(&RunConfig::default()).unwrap()
+    });
+
+    // End-to-end four-stage run at n = 16384 — the EXPERIMENTS.md
+    // throughput workload (same generator and seed as scale_probe).
+    // Healthy: ~3 s release on one core (was ~10 s before the flat-arena
+    // executor); the rounds/messages of this run are themselves pinned so
+    // the gate cannot pass by doing less work.
+    let g = gen::random_connected(16_384, 32_768, &mut gen::WeightRng::new(0x5CA1E));
+    let run = gate_check("end_to_end/elkin_random_16384", 15_000, || {
+        run_mst(&g, &ElkinConfig::default()).unwrap()
+    });
+    assert_eq!(run.stats.rounds, 5740, "gate workload rounds moved; re-pin deliberately");
+    assert_eq!(run.stats.messages, 3_312_325, "gate workload messages moved; re-pin deliberately");
+
+    println!("\nwallclock gate ok");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--gate") {
+        gate();
+        return;
+    }
+    benches();
+}

@@ -33,6 +33,20 @@ pub struct RunConfig {
     /// [`SimError::MaxRoundsExceeded`](crate::SimError). Guards against
     /// non-terminating protocols in tests.
     pub max_rounds: u64,
+    /// Number of executor shards (worker threads). `1` (the default) runs
+    /// the whole network on the calling thread; `0` asks for one shard per
+    /// available CPU. The shard count is a *performance* knob only: results
+    /// — [`RunStats`](crate::RunStats) and final node states — are
+    /// bit-identical for every value (see the executor docs on the per-port
+    /// FIFO determinism contract).
+    pub shards: u32,
+    /// Whether the executor may honor
+    /// [`NodeProgram::next_wake`](crate::NodeProgram::next_wake) hints and
+    /// skip idle nodes/rounds.
+    /// `false` steps every node in every round (legacy behavior); with
+    /// *correct* hints the results are identical either way, which the
+    /// determinism proptests exploit to cross-check the hint contract.
+    pub wake_hints: bool,
 }
 
 impl RunConfig {
@@ -68,6 +82,8 @@ impl Default for RunConfig {
             words_per_unit: 8,
             capacity: CapacityMode::Strict,
             max_rounds: 10_000_000,
+            shards: 1,
+            wake_hints: true,
         }
     }
 }

@@ -16,9 +16,12 @@
 //!   the "`O(1)` edge weights and/or identity numbers" formulation the paper
 //!   gives as an alternative to bit-counting.
 //!
-//! The simulator is single-threaded and fully deterministic: the quantities
-//! the paper bounds — **rounds** and **messages** — are exactly what
-//! [`RunStats`] reports, so a run is a measurement, not an approximation.
+//! The simulator is fully deterministic: the quantities the paper bounds —
+//! **rounds** and **messages** — are exactly what [`RunStats`] reports, so a
+//! run is a measurement, not an approximation. Execution may be sequential
+//! or sharded across worker threads ([`RunConfig::shards`]); the per-port
+//! FIFO merge order makes the results bit-identical either way, so
+//! parallelism is purely a wallclock knob.
 //!
 //! ## Quick example
 //!

@@ -35,8 +35,17 @@
 /// assert_eq!(Proto::Ping.words(), 1);
 /// ```
 pub trait Message: Clone {
-    /// Size of this message in words (`O(log n)`-bit units). Must be at
-    /// least 1; the simulator treats a message reporting 0 words as 1.
+    /// Size of this message in words (`O(log n)`-bit units).
+    ///
+    /// # Contract: `words() >= 1`
+    ///
+    /// Every message occupies the channel, so its cost is at least one word;
+    /// an implementation returning 0 is under-declaring its bandwidth use
+    /// (a protocol bug that would let the capacity check pass vacuously).
+    /// The simulator `debug_assert!`s this contract at every send — debug
+    /// builds (the default test tier) panic on a 0-word message. Release
+    /// builds still clamp the charge to 1 word so accounting can never be
+    /// dodged, but do not pay for the check on the hot path.
     fn words(&self) -> u32 {
         1
     }

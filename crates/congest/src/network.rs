@@ -1,4 +1,41 @@
 //! The round-driven network executor.
+//!
+//! The executor advances the network in synchronous rounds over flat arena
+//! state indexed by the topology's CSR port numbering: one FIFO ring per
+//! *directed edge* buffers in-flight messages, one stamped accumulator per
+//! directed edge meters bandwidth, and per-node stamps track mail,
+//! termination, and stage-tag transitions incrementally. Per-round cost is
+//! proportional to the nodes that act and the messages that move — never to
+//! `n` itself.
+//!
+//! # Sharded execution
+//!
+//! [`RunConfig::shards`] `> 1` partitions nodes into contiguous id ranges,
+//! one worker thread per extra shard. Each shard exclusively owns its nodes
+//! and the rings of its *inbound* ports; cross-shard messages travel as
+//! per-round batches over channels and are appended to the destination
+//! rings. Because every ring has exactly one writer (one directed edge, one
+//! sender) and a receiver drains its rings in ascending-neighbor order, each
+//! inbox comes out exactly as the sequential executor builds it — messages
+//! grouped per sender in FIFO blocks, senders in ascending id order — no
+//! matter how the shard batches interleave. Results are therefore
+//! bit-identical for every shard count; the dual-executor proptests in
+//! `tests/` hold the engine to that contract. (After an *error* return the
+//! node states of shards past the offending one may have advanced further
+//! than under sequential execution; successful runs are always identical.)
+//!
+//! # Idle skipping
+//!
+//! [`NodeProgram::next_wake`] lets a program promise it will not act
+//! spontaneously before a given round. The executor then steps a node only
+//! when mail arrives or its wake round is due, and fast-forwards whole
+//! rounds when the network is globally idle, attributing the skipped rounds
+//! to the current stage census exactly as if they had been executed. The
+//! default hint (`Some(0)`) reproduces the legacy step-every-round behavior.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{self, Receiver, Sender};
 
 use crate::config::{CapacityMode, RunConfig};
 use crate::error::SimError;
@@ -23,7 +60,9 @@ pub struct NodeInfo<'a> {
 /// The simulator calls [`on_round`](NodeProgram::on_round) for every node in
 /// every round, passing the messages that arrived at the start of the round.
 /// Messages sent during a round are delivered at the start of the next round
-/// (synchronous CONGEST semantics).
+/// (synchronous CONGEST semantics). A program that implements
+/// [`next_wake`](NodeProgram::next_wake) may be *skipped* in rounds where it
+/// promised to be a no-op; the observable behavior is identical either way.
 pub trait NodeProgram {
     /// The protocol's message type.
     type Msg: Message;
@@ -45,6 +84,28 @@ pub trait NodeProgram {
     /// disables attribution for this node.
     fn stage_tag(&self) -> &'static str {
         ""
+    }
+
+    /// Wake hint: the earliest round strictly after `after` (the round just
+    /// executed for this node) at which this node might act *spontaneously*
+    /// — i.e. do anything other than nothing when its inbox is empty.
+    ///
+    /// Contract: if this returns `Some(w)` (with `w > after`), then calling
+    /// [`on_round`](NodeProgram::on_round) with an empty inbox in any round
+    /// `r` with `after < r < w` must leave the node's entire observable
+    /// state unchanged and send nothing. `None` promises the node is purely
+    /// message-driven until further notice. Arrival of a message always
+    /// wakes a node regardless of the hint, and a hinted node may still be
+    /// stepped *earlier* than its hint (a stale earlier hint is allowed to
+    /// fire; by the same contract such a step is a no-op).
+    ///
+    /// The default, `Some(0)`, requests a step every round — the legacy
+    /// behavior, always safe. Returning accurate hints is purely a
+    /// performance optimization; the executors cross-check hinted and
+    /// unhinted runs for bit-identical results.
+    fn next_wake(&self, after: u64) -> Option<u64> {
+        let _ = after;
+        Some(0)
     }
 }
 
@@ -88,8 +149,9 @@ impl<'a, M: Message> RoundCtx<'a, M> {
     }
 
     /// Messages that arrived this round, as `(port, message)` pairs in
-    /// deterministic order (by sender processing order of the previous
-    /// round).
+    /// deterministic order: grouped per sending neighbor in contiguous FIFO
+    /// blocks, neighbors in ascending node-id order (the order the
+    /// sequential executor produces by stepping senders in id order).
     #[inline]
     pub fn inbox(&self) -> &[(PortId, M)] {
         self.inbox
@@ -106,6 +168,376 @@ impl<'a, M: Message> RoundCtx<'a, M> {
         assert!(p < self.ports.len(), "send on nonexistent port {p}");
         self.outbox.push((p, msg));
     }
+}
+
+/// Messages crossing a shard boundary in one round: `(destination global
+/// directed port, message)` pairs in sender-step order.
+type Batch<M> = Vec<(u32, M)>;
+
+/// Executor knobs shared by every shard, resolved once per run.
+#[derive(Clone, Copy)]
+struct EngineCfg {
+    capacity: u64,
+    strict: bool,
+    wake_hints: bool,
+    /// Nodes per shard: `shard_of(v) = v / chunk`.
+    chunk: usize,
+    num_shards: usize,
+}
+
+/// What a shard reports to the coordinator after executing one round.
+struct RoundSummary {
+    round_messages: u64,
+    done: u64,
+    census: Vec<(&'static str, u64)>,
+    next_due: Option<u64>,
+    error: Option<SimError>,
+}
+
+/// Run-total counters a shard accumulates locally and surrenders at halt.
+#[derive(Default)]
+struct ShardTotals {
+    messages: u64,
+    words: u64,
+    peak_edge_words: u64,
+    by_tag: Vec<(&'static str, TagStats)>,
+}
+
+enum Decision {
+    Round(u64),
+    Halt,
+}
+
+/// Channel ends connecting one shard to every other shard: `to`/`from`
+/// carry round batches, `ret_*` recycle the emptied `Vec`s backwards.
+/// Entry `s` talks to shard `s`; the self entry is `None`.
+struct Links<M> {
+    to: Vec<Option<Sender<Batch<M>>>>,
+    from: Vec<Option<Receiver<Batch<M>>>>,
+    ret_to: Vec<Option<Sender<Batch<M>>>>,
+    ret_from: Vec<Option<Receiver<Batch<M>>>>,
+}
+
+impl<M> Links<M> {
+    fn empty(num_shards: usize) -> Self {
+        Self {
+            to: (0..num_shards).map(|_| None).collect(),
+            from: (0..num_shards).map(|_| None).collect(),
+            ret_to: (0..num_shards).map(|_| None).collect(),
+            ret_from: (0..num_shards).map(|_| None).collect(),
+        }
+    }
+}
+
+fn bump_census(census: &mut Vec<(&'static str, u64)>, tag: &'static str, up: bool) {
+    match census.binary_search_by(|e| e.0.cmp(tag)) {
+        Ok(i) => {
+            if up {
+                census[i].1 += 1;
+            } else {
+                census[i].1 -= 1;
+            }
+        }
+        Err(i) => {
+            debug_assert!(up, "decrement of an absent census tag");
+            census.insert(i, (tag, 1));
+        }
+    }
+}
+
+fn bump_tag_totals(tags: &mut Vec<(&'static str, TagStats)>, tag: &'static str, words: u64) {
+    match tags.binary_search_by(|e| e.0.cmp(tag)) {
+        Ok(i) => {
+            tags[i].1.messages += 1;
+            tags[i].1.words += words;
+        }
+        Err(i) => tags.insert(i, (tag, TagStats { messages: 1, words })),
+    }
+}
+
+/// The earliest non-empty stage tag any shard currently reports.
+fn current_stage(censuses: &[Vec<(&'static str, u64)>]) -> Option<&'static str> {
+    censuses.iter().flatten().filter(|e| e.1 > 0).map(|e| e.0).min()
+}
+
+/// One contiguous slice of the network: nodes `lo..lo + nodes.len()` plus
+/// every per-port and per-node arena for that range.
+struct Shard<'a, P: NodeProgram> {
+    idx: usize,
+    lo: usize,
+    /// First global directed-port index owned by this shard.
+    plo: usize,
+    nodes: &'a mut [P],
+    topo: &'a Topology,
+    cfg: EngineCfg,
+    /// FIFO ring per owned inbound directed port, indexed `g - plo`.
+    rings: Vec<Vec<P::Msg>>,
+    /// `(round stamp, words)` per owned outbound directed port.
+    port_words: Vec<(u64, u64)>,
+    /// Per owned node: round stamp of the last mail delivery.
+    mail: Vec<u64>,
+    /// Nodes (global ids) with mail in the round being assembled.
+    touched: Vec<NodeId>,
+    actives: Vec<NodeId>,
+    /// Wake heap, `(due round, node)` with lazy deletion: stale earlier
+    /// entries pop as no-op steps (guaranteed harmless by the
+    /// [`NodeProgram::next_wake`] contract). Only *far* wakes (beyond the
+    /// next round) live here; the overwhelmingly common "step me again next
+    /// round" hint takes the O(1) [`Self::due`] path instead, so a dense
+    /// always-active workload never pays the heap's O(log n) per step.
+    wake: BinaryHeap<Reverse<(u64, NodeId)>>,
+    /// Nodes due at the next executed round, whatever its number (a wake
+    /// for round + 1 stays valid across a fast-forward: firing at a later
+    /// round is exactly the heap's `w <= round` pop rule).
+    due: Vec<NodeId>,
+    done: u64,
+    prev_done: Vec<bool>,
+    prev_tag: Vec<&'static str>,
+    /// Non-empty stage tags with live node counts, sorted by tag.
+    census: Vec<(&'static str, u64)>,
+    totals: ShardTotals,
+    inbox: Vec<(PortId, P::Msg)>,
+    outbox: Vec<(PortId, P::Msg)>,
+    /// Outgoing batches per destination shard (self entry delivered locally).
+    out: Vec<Batch<P::Msg>>,
+}
+
+impl<'a, P: NodeProgram> Shard<'a, P> {
+    fn new(idx: usize, lo: usize, nodes: &'a mut [P], topo: &'a Topology, cfg: EngineCfg) -> Self {
+        let count = nodes.len();
+        let plo = topo.port_lo(lo);
+        let phi = topo.port_lo(lo + count);
+        let mut done = 0u64;
+        let mut prev_done = Vec::with_capacity(nodes.len());
+        let mut prev_tag = Vec::with_capacity(nodes.len());
+        let mut census: Vec<(&'static str, u64)> = Vec::new();
+        for node in nodes.iter() {
+            let d = node.is_done();
+            prev_done.push(d);
+            done += u64::from(d);
+            let t = node.stage_tag();
+            prev_tag.push(t);
+            if !t.is_empty() {
+                bump_census(&mut census, t, true);
+            }
+        }
+        Self {
+            idx,
+            lo,
+            plo,
+            nodes,
+            topo,
+            cfg,
+            rings: (plo..phi).map(|_| Vec::new()).collect(),
+            port_words: vec![(u64::MAX, 0); phi - plo],
+            mail: vec![u64::MAX; count],
+            touched: Vec::new(),
+            actives: Vec::new(),
+            wake: BinaryHeap::new(),
+            // Every node gets an initial step at the first executed round,
+            // like the legacy executor; its own hints take over from there.
+            due: (lo..lo + count).collect(),
+            done,
+            prev_done,
+            prev_tag,
+            census,
+            totals: ShardTotals::default(),
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+            out: (0..cfg.num_shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Appends a batch of inbound messages (for the round about to execute)
+    /// to the destination rings, marking receivers as mailed.
+    fn deliver(&mut self, round: u64, batch: &mut Batch<P::Msg>) {
+        for (g, msg) in batch.drain(..) {
+            let g = g as usize;
+            let v = self.topo.port_node(g);
+            let ni = v - self.lo;
+            if self.mail[ni] != round {
+                self.mail[ni] = round;
+                self.touched.push(v);
+            }
+            self.rings[g - self.plo].push(msg);
+        }
+    }
+
+    /// Executes one round over this shard's active set.
+    fn execute(&mut self, round: u64) -> RoundSummary {
+        self.actives.clear();
+        self.actives.append(&mut self.touched);
+        self.actives.append(&mut self.due);
+        while let Some(&Reverse((w, v))) = self.wake.peek() {
+            if w > round {
+                break;
+            }
+            self.wake.pop();
+            self.actives.push(v);
+        }
+        self.actives.sort_unstable();
+        self.actives.dedup();
+
+        let mut round_messages = 0u64;
+        let mut error = None;
+
+        'step: for i in 0..self.actives.len() {
+            let v = self.actives[i];
+            let ni = v - self.lo;
+            let base = self.topo.port_lo(v);
+            self.inbox.clear();
+            if self.mail[ni] == round {
+                for &p in self.topo.drain_order(v) {
+                    let ring = &mut self.rings[base + p as usize - self.plo];
+                    if !ring.is_empty() {
+                        self.inbox.extend(ring.drain(..).map(|m| (p as PortId, m)));
+                    }
+                }
+            }
+            self.outbox.clear();
+            let mut ctx = RoundCtx {
+                round,
+                id: v,
+                ports: self.topo.ports(v),
+                inbox: &self.inbox,
+                outbox: &mut self.outbox,
+            };
+            self.nodes[ni].on_round(&mut ctx);
+
+            for (p, msg) in self.outbox.drain(..) {
+                let g = base + p;
+                debug_assert!(
+                    msg.words() >= 1,
+                    "Message::words() returned 0 for tag {:?} (node {v}, round {round}); \
+                     every message costs at least one word — see congest::Message::words",
+                    msg.tag(),
+                );
+                let words = u64::from(msg.words().max(1));
+                let slot = &mut self.port_words[g - self.plo];
+                if slot.0 != round {
+                    *slot = (round, 0);
+                }
+                slot.1 += words;
+                if self.cfg.strict && slot.1 > self.cfg.capacity {
+                    error = Some(SimError::CapacityExceeded {
+                        round,
+                        from: v,
+                        to: (self.topo.route(g) >> 32) as NodeId,
+                        words: slot.1,
+                        capacity: self.cfg.capacity,
+                    });
+                    break 'step;
+                }
+                self.totals.peak_edge_words = self.totals.peak_edge_words.max(slot.1);
+                bump_tag_totals(&mut self.totals.by_tag, msg.tag(), words);
+                self.totals.messages += 1;
+                self.totals.words += words;
+                round_messages += 1;
+
+                let dest = self.topo.peer(g);
+                let dest_shard = self.topo.port_node(dest) / self.cfg.chunk;
+                self.out[dest_shard].push((dest as u32, msg));
+            }
+
+            let node = &self.nodes[ni];
+            let d = node.is_done();
+            if d != self.prev_done[ni] {
+                self.prev_done[ni] = d;
+                if d {
+                    self.done += 1;
+                } else {
+                    self.done -= 1;
+                }
+            }
+            let t = node.stage_tag();
+            if t != self.prev_tag[ni] {
+                if !self.prev_tag[ni].is_empty() {
+                    bump_census(&mut self.census, self.prev_tag[ni], false);
+                }
+                if !t.is_empty() {
+                    bump_census(&mut self.census, t, true);
+                }
+                self.prev_tag[ni] = t;
+            }
+            let hint = if self.cfg.wake_hints { node.next_wake(round) } else { Some(round + 1) };
+            if let Some(w) = hint {
+                if w <= round + 1 {
+                    self.due.push(v);
+                } else {
+                    self.wake.push(Reverse((w, v)));
+                }
+            }
+        }
+
+        RoundSummary {
+            round_messages,
+            done: self.done,
+            census: self.census.clone(),
+            next_due: if self.due.is_empty() {
+                // Everything <= round was popped above, so the peek is the
+                // true minimum over both wake structures.
+                self.wake.peek().map(|&Reverse((w, _))| w)
+            } else {
+                Some(round + 1)
+            },
+            error,
+        }
+    }
+}
+
+/// One full round on one shard: deliver queued batches, execute, ship
+/// outgoing batches. `primed` is false only before the shard's first
+/// executed round (no peer has sent anything yet).
+fn shard_round<P: NodeProgram>(
+    shard: &mut Shard<'_, P>,
+    links: &Links<P::Msg>,
+    round: u64,
+    primed: bool,
+) -> RoundSummary {
+    let me = shard.idx;
+    let mut own = std::mem::take(&mut shard.out[me]);
+    shard.deliver(round, &mut own);
+    shard.out[me] = own;
+    if primed {
+        for s in 0..links.from.len() {
+            let Some(rx) = &links.from[s] else { continue };
+            let mut batch = rx.recv().expect("peer shard alive until halt");
+            shard.deliver(round, &mut batch);
+            if let Some(ret) = &links.ret_to[s] {
+                let _ = ret.send(batch);
+            }
+        }
+    }
+    let summary = shard.execute(round);
+    for s in 0..links.to.len() {
+        let Some(tx) = &links.to[s] else { continue };
+        let batch = std::mem::take(&mut shard.out[s]);
+        tx.send(batch).expect("peer shard alive until halt");
+        if let Some(ret) = &links.ret_from[s] {
+            if let Ok(recycled) = ret.try_recv() {
+                shard.out[s] = recycled;
+            }
+        }
+    }
+    summary
+}
+
+fn worker_loop<P: NodeProgram>(
+    mut shard: Shard<'_, P>,
+    links: Links<P::Msg>,
+    decisions: Receiver<Decision>,
+    summaries: Sender<RoundSummary>,
+    totals: Sender<ShardTotals>,
+) {
+    let mut primed = false;
+    while let Ok(Decision::Round(round)) = decisions.recv() {
+        let summary = shard_round(&mut shard, &links, round, primed);
+        primed = true;
+        if summaries.send(summary).is_err() {
+            return; // coordinator gone (panic unwinding elsewhere)
+        }
+    }
+    let _ = totals.send(std::mem::take(&mut shard.totals));
 }
 
 /// A network of nodes executing a [`NodeProgram`] over a [`Topology`].
@@ -146,129 +578,178 @@ impl<P: NodeProgram> Network<P> {
     }
 
     /// Runs rounds until quiescence (every node done, no messages in
-    /// flight) or an error.
+    /// flight) or an error. See the module docs for the execution model;
+    /// [`RunConfig::shards`] picks sequential vs. sharded execution with
+    /// bit-identical results.
     ///
     /// # Errors
     ///
     /// * [`SimError::CapacityExceeded`] under [`CapacityMode::Strict`] when a
     ///   round oversubscribes an edge direction.
     /// * [`SimError::MaxRoundsExceeded`] when `config.max_rounds` is hit.
-    pub fn run(&mut self, config: &RunConfig) -> Result<RunStats, SimError> {
+    pub fn run(&mut self, config: &RunConfig) -> Result<RunStats, SimError>
+    where
+        P: Send,
+        P::Msg: Send,
+    {
         let n = self.topo.num_nodes();
-        let capacity = config.capacity_words();
-        let mut stats = RunStats::default();
-
-        // Double-buffered inboxes; `touched` lists nodes whose next-round
-        // inbox is non-empty and `delivered` those whose current inbox is,
-        // so per-round bookkeeping stays proportional to traffic.
-        let mut inboxes: Vec<Vec<(PortId, P::Msg)>> = vec![Vec::new(); n];
-        let mut next_inboxes: Vec<Vec<(PortId, P::Msg)>> = vec![Vec::new(); n];
-        let mut touched: Vec<NodeId> = Vec::new();
-        let mut delivered: Vec<NodeId> = Vec::new();
-        let mut inflight: u64 = 0;
-
-        // Per directed edge (2 per undirected edge): words sent in the round
-        // stamped alongside, so no per-round reset is needed.
-        let mut edge_words: Vec<(u64, u64)> = vec![(u64::MAX, 0); 2 * self.topo.num_edges()];
-
-        let mut outbox: Vec<(PortId, P::Msg)> = Vec::new();
-        let mut round: u64 = 0;
-
-        loop {
-            if inflight == 0 && self.nodes.iter().all(|p| p.is_done()) {
-                stats.rounds = round;
-                return Ok(stats);
-            }
-            if round >= config.max_rounds {
-                return Err(SimError::MaxRoundsExceeded {
-                    max_rounds: config.max_rounds,
-                    pending_nodes: self.nodes.iter().filter(|p| !p.is_done()).count(),
-                });
-            }
-
-            let mut round_messages: u64 = 0;
-            inflight = 0;
-            #[allow(clippy::needless_range_loop)] // v indexes nodes, ports, and inboxes alike
-            for v in 0..n {
-                outbox.clear();
-                let mut ctx = RoundCtx {
-                    round,
-                    id: v,
-                    ports: self.topo.ports(v),
-                    inbox: &inboxes[v],
-                    outbox: &mut outbox,
-                };
-                self.nodes[v].on_round(&mut ctx);
-
-                for (p, msg) in outbox.drain(..) {
-                    let port = self.topo.ports(v)[p];
-                    let words = u64::from(msg.words().max(1));
-
-                    // Directed-edge bandwidth accounting.
-                    let dir = usize::from(self.topo.edges()[port.edge].0 != v);
-                    let slot = &mut edge_words[2 * port.edge + dir];
-                    if slot.0 != round {
-                        *slot = (round, 0);
-                    }
-                    slot.1 += words;
-                    if slot.1 > capacity && config.capacity == CapacityMode::Strict {
-                        return Err(SimError::CapacityExceeded {
-                            round,
-                            from: v,
-                            to: port.neighbor,
-                            words: slot.1,
-                            capacity,
-                        });
-                    }
-                    stats.peak_edge_words = stats.peak_edge_words.max(slot.1);
-
-                    let entry = stats.by_tag.entry(msg.tag()).or_insert_with(TagStats::default);
-                    entry.messages += 1;
-                    entry.words += words;
-                    stats.messages += 1;
-                    stats.words += words;
-                    round_messages += 1;
-                    inflight += 1;
-
-                    let back = self.topo.reverse_port(v, p);
-                    if next_inboxes[port.neighbor].is_empty() {
-                        touched.push(port.neighbor);
-                    }
-                    next_inboxes[port.neighbor].push((back, msg));
-                }
-            }
-
-            stats.peak_round_messages = stats.peak_round_messages.max(round_messages);
-
-            // Attribute the round just executed to the earliest stage any
-            // node still reports (post-round sampling: a node that crossed
-            // a stage boundary *during* this round counts it in the new
-            // stage, matching last-to-cross milestone semantics).
-            let mut stage: Option<&'static str> = None;
-            for node in &self.nodes {
-                let t = node.stage_tag();
-                if !t.is_empty() && stage.is_none_or(|s| t < s) {
-                    stage = Some(t);
-                }
-            }
-            if let Some(t) = stage {
-                *stats.rounds_by_stage.entry(t).or_insert(0) += 1;
-            }
-
-            // Consume this round's inboxes, then promote the messages just
-            // sent to become next round's input.
-            for &v in &delivered {
-                inboxes[v].clear();
-            }
-            delivered.clear();
-            for &v in &touched {
-                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
-                delivered.push(v);
-            }
-            touched.clear();
-
-            round += 1;
+        if n == 0 {
+            return Ok(RunStats::default());
         }
+        let requested = match config.shards {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            s => s as usize,
+        };
+        let chunk = n.div_ceil(requested.clamp(1, n));
+        let num_shards = n.div_ceil(chunk);
+        let cfg = EngineCfg {
+            capacity: config.capacity_words(),
+            strict: config.capacity == CapacityMode::Strict,
+            wake_hints: config.wake_hints,
+            chunk,
+            num_shards,
+        };
+
+        let topo = &self.topo;
+        let mut shards: Vec<Shard<'_, P>> = Vec::with_capacity(num_shards);
+        {
+            let mut rest: &mut [P] = &mut self.nodes;
+            for s in 0..num_shards {
+                let len = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                shards.push(Shard::new(s, s * chunk, head, topo, cfg));
+            }
+        }
+
+        // Cross-shard plumbing: batch + recycle channels per ordered pair,
+        // decision/summary/totals channels per worker. With one shard the
+        // links stay empty and no thread is spawned.
+        let mut links: Vec<Links<P::Msg>> =
+            (0..num_shards).map(|_| Links::empty(num_shards)).collect();
+        for a in 0..num_shards {
+            for b in 0..num_shards {
+                if a == b {
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel();
+                links[a].to[b] = Some(tx);
+                links[b].from[a] = Some(rx);
+                let (rtx, rrx) = mpsc::channel();
+                links[b].ret_to[a] = Some(rtx);
+                links[a].ret_from[b] = Some(rrx);
+            }
+        }
+
+        let mut done_total: u64 = shards.iter().map(|s| s.done).sum();
+        let mut censuses: Vec<Vec<(&'static str, u64)>> =
+            shards.iter().map(|s| s.census.clone()).collect();
+        let mut next_dues: Vec<Option<u64>> = vec![Some(0); num_shards];
+        let mut inflight: u64 = 0;
+        let max_rounds = config.max_rounds;
+
+        let mut shard_iter = shards.into_iter();
+        let mut shard0 = shard_iter.next().expect("at least one shard");
+        let mut links_iter = links.into_iter();
+        let links0 = links_iter.next().expect("at least one shard");
+
+        std::thread::scope(|scope| {
+            let mut decision_txs = Vec::with_capacity(num_shards - 1);
+            let mut summary_rxs = Vec::with_capacity(num_shards - 1);
+            let mut totals_rxs = Vec::with_capacity(num_shards - 1);
+            for (shard, link) in shard_iter.zip(links_iter) {
+                let (dtx, drx) = mpsc::channel();
+                let (stx, srx) = mpsc::channel();
+                let (ttx, trx) = mpsc::channel();
+                decision_txs.push(dtx);
+                summary_rxs.push(srx);
+                totals_rxs.push(trx);
+                scope.spawn(move || worker_loop(shard, link, drx, stx, ttx));
+            }
+
+            let mut stats = RunStats::default();
+            let mut round: u64 = 0;
+            let mut primed = false;
+            let outcome: Result<(), SimError> = loop {
+                if inflight == 0 && done_total == n as u64 {
+                    break Ok(());
+                }
+                if round >= max_rounds {
+                    break Err(SimError::MaxRoundsExceeded {
+                        max_rounds,
+                        pending_nodes: (n as u64 - done_total) as usize,
+                    });
+                }
+                if inflight == 0 {
+                    // Globally idle: fast-forward to the earliest due wake
+                    // (or the round cap), attributing the skipped rounds to
+                    // the frozen stage census — nothing can transition while
+                    // no node steps and no message is in flight.
+                    let due = next_dues.iter().filter_map(|&d| d).min();
+                    let target = due.unwrap_or(max_rounds).min(max_rounds);
+                    if target > round {
+                        if let Some(tag) = current_stage(&censuses) {
+                            *stats.rounds_by_stage.entry(tag).or_insert(0) += target - round;
+                        }
+                        round = target;
+                        continue;
+                    }
+                }
+
+                for dtx in &decision_txs {
+                    dtx.send(Decision::Round(round)).expect("worker alive");
+                }
+                let s0 = shard_round(&mut shard0, &links0, round, primed);
+                primed = true;
+
+                let mut round_messages = s0.round_messages;
+                done_total = s0.done;
+                next_dues[0] = s0.next_due;
+                censuses[0] = s0.census;
+                let mut error = s0.error;
+                for (s, srx) in summary_rxs.iter().enumerate() {
+                    let summary = srx.recv().expect("worker alive");
+                    round_messages += summary.round_messages;
+                    done_total += summary.done;
+                    next_dues[s + 1] = summary.next_due;
+                    censuses[s + 1] = summary.census;
+                    if error.is_none() {
+                        error = summary.error;
+                    }
+                }
+                if let Some(e) = error {
+                    break Err(e);
+                }
+                inflight = round_messages;
+                stats.peak_round_messages = stats.peak_round_messages.max(round_messages);
+                if let Some(tag) = current_stage(&censuses) {
+                    *stats.rounds_by_stage.entry(tag).or_insert(0) += 1;
+                }
+                round += 1;
+            };
+
+            for dtx in &decision_txs {
+                let _ = dtx.send(Decision::Halt);
+            }
+            let mut all_totals = vec![std::mem::take(&mut shard0.totals)];
+            for trx in &totals_rxs {
+                all_totals.push(trx.recv().expect("worker exits cleanly"));
+            }
+            outcome.map(|()| {
+                for t in all_totals {
+                    stats.messages += t.messages;
+                    stats.words += t.words;
+                    stats.peak_edge_words = stats.peak_edge_words.max(t.peak_edge_words);
+                    for (tag, ts) in t.by_tag {
+                        let entry = stats.by_tag.entry(tag).or_default();
+                        entry.messages += ts.messages;
+                        entry.words += ts.words;
+                    }
+                }
+                stats.rounds = round;
+                stats
+            })
+        })
     }
 }
 
@@ -372,6 +853,29 @@ mod tests {
     }
 
     #[test]
+    fn sleeping_nonterminating_protocol_hits_round_cap() {
+        /// Never done, never acts: promises a wake far past the cap.
+        struct DeepSleep;
+        impl NodeProgram for DeepSleep {
+            type Msg = ();
+            fn on_round(&mut self, _: &mut RoundCtx<'_, ()>) {}
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn next_wake(&self, _: u64) -> Option<u64> {
+                Some(1_000_000)
+            }
+        }
+        let mut net = Network::new(pair(), |_| DeepSleep);
+        let cfg = RunConfig { max_rounds: 10, ..RunConfig::congest() };
+        // The fast-forward must stop at the cap, not sail past it.
+        assert!(matches!(
+            net.run(&cfg),
+            Err(SimError::MaxRoundsExceeded { max_rounds: 10, pending_nodes: 2 })
+        ));
+    }
+
+    #[test]
     fn immediate_quiescence_is_zero_rounds() {
         struct Done;
         impl NodeProgram for Done {
@@ -430,5 +934,79 @@ mod tests {
         // its own port 0.
         net.run(&RunConfig::congest()).unwrap();
         assert_eq!(net.nodes()[0].got, Some(0));
+    }
+
+    /// Sleeps (accurate hint) until `fire_at`, acts once, then is done.
+    struct Napper {
+        fire_at: u64,
+        fired: bool,
+    }
+    impl NodeProgram for Napper {
+        type Msg = ();
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) {
+            if ctx.round() == self.fire_at {
+                self.fired = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.fired
+        }
+        fn stage_tag(&self) -> &'static str {
+            "z"
+        }
+        fn next_wake(&self, _: u64) -> Option<u64> {
+            if self.fired {
+                None
+            } else {
+                Some(self.fire_at)
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_rounds_and_attributes_them() {
+        let mut net = Network::new(pair(), |_| Napper { fire_at: 5, fired: false });
+        let stats = net.run(&RunConfig::congest()).unwrap();
+        // Rounds 1-4 are skipped wholesale but still counted + attributed.
+        assert_eq!(stats.rounds, 6);
+        assert_eq!(stats.rounds_in_stage("z"), 6);
+        assert_eq!(stats.messages, 0);
+        assert!(net.nodes().iter().all(|n| n.fired));
+    }
+
+    #[test]
+    fn wake_hints_do_not_change_results() {
+        let run = |hints: bool, shards: u32| {
+            let mut net = Network::new(pair(), |_| Napper { fire_at: 9, fired: false });
+            let cfg = RunConfig { wake_hints: hints, shards, ..RunConfig::congest() };
+            net.run(&cfg).unwrap()
+        };
+        let baseline = run(false, 1);
+        assert_eq!(baseline, run(true, 1));
+        assert_eq!(baseline, run(true, 2));
+        assert_eq!(baseline, run(false, 2));
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let run = |shards: u32| {
+            let topo = Topology::new(
+                5,
+                &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5), (1, 3, 6)],
+            )
+            .unwrap();
+            let mut net = Network::new(topo, |i| Echo {
+                to_send: if i.id == 0 { 3 } else { 0 },
+                seen: 0,
+                wait_for: u32::from(i.id == 1) * 3,
+            });
+            let stats = net.run(&RunConfig { shards, ..RunConfig::congest() }).unwrap();
+            let seen: Vec<u32> = net.nodes().iter().map(|n| n.seen).collect();
+            (stats, seen)
+        };
+        let seq = run(1);
+        for s in [2, 3, 4, 5, 8] {
+            assert_eq!(seq, run(s), "shards = {s} diverged");
+        }
     }
 }

@@ -1,4 +1,10 @@
 //! Static communication topology: the weighted graph the nodes live on.
+//!
+//! Internally the adjacency is a flat CSR arena (one `Vec<Port>` plus an
+//! offset table) so the executor's hot loop walks contiguous memory, and
+//! every *directed* port carries a precomputed, word-packed route header
+//! (destination node and destination-local port in one `u64`) so message
+//! delivery needs no lookups beyond a single indexed load.
 
 use crate::error::SimError;
 
@@ -36,15 +42,37 @@ pub struct Port {
 /// endpoints; connectivity is *not* required (some protocols are exercised on
 /// forests), but [`Topology::is_connected`] is provided for callers that need
 /// the check.
+///
+/// Each undirected edge contributes one *directed port* per endpoint. A
+/// directed port is identified globally by `port_start(v) + p` for node `v`'s
+/// local port `p`; global port ids are node-contiguous, which is what lets
+/// the sharded executor hand each shard an exclusive, contiguous slice of
+/// every per-port table.
 #[derive(Clone, Debug)]
 pub struct Topology {
     n: usize,
     edges: Vec<(NodeId, NodeId, u64)>,
-    ports: Vec<Vec<Port>>,
-    /// `reverse[v][p]` = the port index at `ports[v][p].neighbor` that leads
-    /// back to `v` over the same edge. Precomputed so message delivery is
-    /// O(1) per message.
-    reverse: Vec<Vec<PortId>>,
+    /// CSR offsets: node `v`'s ports live at `port_start[v]..port_start[v+1]`
+    /// in every flat per-port table below.
+    port_start: Vec<u32>,
+    /// Flat adjacency arena, `2m` entries.
+    ports: Vec<Port>,
+    /// Word-packed route header per global directed port `g`:
+    /// `(destination node) << 32 | (destination-local reverse port)`. The
+    /// executor reads the high half to route a message and the low half to
+    /// stamp the receiver-side port it arrives on.
+    route: Vec<u64>,
+    /// Global index of the reverse directed port (`peer[g]` is the port at
+    /// the other endpoint of the same edge).
+    peer: Vec<u32>,
+    /// Owning node of each global directed port (inverse of `port_start`).
+    port_node: Vec<u32>,
+    /// Per node (same CSR offsets): the node's *local* port ids sorted by
+    /// neighbor id. Draining inbound ring buffers in this order reproduces
+    /// the sequential executor's inbox order (senders step in id order, and
+    /// each sender's messages to one receiver travel one edge in FIFO
+    /// order), which is the determinism contract of the sharded executor.
+    drain: Vec<u32>,
 }
 
 impl Topology {
@@ -53,11 +81,18 @@ impl Topology {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidTopology`] on self-loops, duplicate edges
-    /// (in either orientation), or endpoints `>= n`.
+    /// (in either orientation), endpoints `>= n`, or sizes exceeding the
+    /// packed-header range (`n` or `2m` beyond `u32`).
     pub fn new(n: usize, edges: &[(NodeId, NodeId, u64)]) -> Result<Self, SimError> {
-        let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n];
+        if n as u64 > u64::from(u32::MAX) || 2 * edges.len() as u64 > u64::from(u32::MAX) {
+            return Err(SimError::InvalidTopology(format!(
+                "topology too large for packed routing ({n} nodes, {} edges)",
+                edges.len()
+            )));
+        }
+        let mut degree = vec![0u32; n];
         let mut seen = std::collections::HashSet::with_capacity(edges.len());
-        for (eid, &(u, v, w)) in edges.iter().enumerate() {
+        for (eid, &(u, v, _)) in edges.iter().enumerate() {
             if u >= n || v >= n {
                 return Err(SimError::InvalidTopology(format!(
                     "edge {eid} = ({u}, {v}) has an endpoint out of range (n = {n})"
@@ -74,23 +109,58 @@ impl Topology {
                     "edge {eid} = ({u}, {v}) duplicates an earlier edge"
                 )));
             }
-            ports[u].push(Port { neighbor: v, edge: eid, weight: w });
-            ports[v].push(Port { neighbor: u, edge: eid, weight: w });
+            degree[u] += 1;
+            degree[v] += 1;
         }
-        // reverse[v][p]: find the port at the neighbor with the same edge id.
-        let mut reverse: Vec<Vec<PortId>> = Vec::with_capacity(n);
+
+        // CSR offsets, then a single O(m) fill pass using per-node cursors.
+        // Ports keep the edge-input insertion order the nested-Vec layout
+        // had, so local port numbering is unchanged for every protocol.
+        let mut port_start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        port_start.push(0);
+        for &d in &degree {
+            acc += d;
+            port_start.push(acc);
+        }
+        let total = acc as usize;
+        let dummy = Port { neighbor: 0, edge: 0, weight: 0 };
+        let mut ports = vec![dummy; total];
+        let mut route = vec![0u64; total];
+        let mut peer = vec![0u32; total];
+        let mut port_node = vec![0u32; total];
+        let mut cursor: Vec<u32> = port_start[..n].to_vec();
+        for (eid, &(u, v, w)) in edges.iter().enumerate() {
+            let gu = cursor[u];
+            cursor[u] += 1;
+            let gv = cursor[v];
+            cursor[v] += 1;
+            ports[gu as usize] = Port { neighbor: v, edge: eid, weight: w };
+            ports[gv as usize] = Port { neighbor: u, edge: eid, weight: w };
+            let pu = u64::from(gu - port_start[u]);
+            let pv = u64::from(gv - port_start[v]);
+            route[gu as usize] = (v as u64) << 32 | pv;
+            route[gv as usize] = (u as u64) << 32 | pu;
+            peer[gu as usize] = gv;
+            peer[gv as usize] = gu;
+        }
         for v in 0..n {
-            let mut rv = Vec::with_capacity(ports[v].len());
-            for port in &ports[v] {
-                let back = ports[port.neighbor]
-                    .iter()
-                    .position(|q| q.edge == port.edge)
-                    .expect("edge stored at both endpoints");
-                rv.push(back);
+            for g in port_start[v]..port_start[v + 1] {
+                port_node[g as usize] = v as u32;
             }
-            reverse.push(rv);
         }
-        Ok(Self { n, edges: edges.to_vec(), ports, reverse })
+        let mut drain = vec![0u32; total];
+        for v in 0..n {
+            let lo = port_start[v] as usize;
+            let hi = port_start[v + 1] as usize;
+            let d = &mut drain[lo..hi];
+            for (p, slot) in d.iter_mut().enumerate() {
+                *slot = p as u32;
+            }
+            d.sort_unstable_by_key(|&p| ports[lo + p as usize].neighbor);
+        }
+
+        Ok(Self { n, edges: edges.to_vec(), port_start, ports, route, peer, port_node, drain })
     }
 
     /// Number of nodes.
@@ -112,7 +182,7 @@ impl Topology {
     /// Panics if `v >= n`.
     #[inline]
     pub fn ports(&self, v: NodeId) -> &[Port] {
-        &self.ports[v]
+        &self.ports[self.port_range(v)]
     }
 
     /// Degree of node `v`.
@@ -122,7 +192,7 @@ impl Topology {
     /// Panics if `v >= n`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.ports[v].len()
+        (self.port_start[v + 1] - self.port_start[v]) as usize
     }
 
     /// The original edge list `(u, v, w)` in input order.
@@ -131,10 +201,48 @@ impl Topology {
         &self.edges
     }
 
-    /// The port at `ports(v)[p].neighbor` leading back to `v`.
+    /// First global directed-port index of node `v` (CSR offset).
     #[inline]
+    pub(crate) fn port_lo(&self, v: NodeId) -> usize {
+        self.port_start[v] as usize
+    }
+
+    /// Global directed-port range of node `v`.
+    #[inline]
+    pub(crate) fn port_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.port_start[v] as usize..self.port_start[v + 1] as usize
+    }
+
+    /// The packed route header of global port `g`:
+    /// `dest_node << 32 | dest_local_port`.
+    #[inline]
+    pub(crate) fn route(&self, g: usize) -> u64 {
+        self.route[g]
+    }
+
+    /// Global index of the reverse directed port of `g`.
+    #[inline]
+    pub(crate) fn peer(&self, g: usize) -> usize {
+        self.peer[g] as usize
+    }
+
+    /// Owning node of global port `g`.
+    #[inline]
+    pub(crate) fn port_node(&self, g: usize) -> NodeId {
+        self.port_node[g] as usize
+    }
+
+    /// Node `v`'s local port ids sorted by neighbor id (inbound drain
+    /// order; see the field docs).
+    #[inline]
+    pub(crate) fn drain_order(&self, v: NodeId) -> &[u32] {
+        &self.drain[self.port_range(v)]
+    }
+
+    /// The port at `ports(v)[p].neighbor` leading back to `v`.
+    #[cfg(test)]
     pub(crate) fn reverse_port(&self, v: NodeId, p: PortId) -> PortId {
-        self.reverse[v][p]
+        (self.route[self.port_start[v] as usize + p] & 0xFFFF_FFFF) as PortId
     }
 
     /// Whether the graph is connected (every pair of nodes joined by a path).
@@ -148,7 +256,7 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for port in &self.ports[v] {
+            for port in self.ports(v) {
                 if !seen[port.neighbor] {
                     seen[port.neighbor] = true;
                     count += 1;
@@ -179,6 +287,35 @@ mod tests {
                 assert_eq!(t.ports(port.neighbor)[back].edge, port.edge);
             }
         }
+    }
+
+    #[test]
+    fn packed_routes_and_peers_agree_with_ports() {
+        let t = Topology::new(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)]).unwrap();
+        for v in 0..4 {
+            for (p, port) in t.ports(v).iter().enumerate() {
+                let g = t.port_lo(v) + p;
+                assert_eq!(t.port_node(g), v);
+                let header = t.route(g);
+                assert_eq!((header >> 32) as usize, port.neighbor);
+                assert_eq!((header & 0xFFFF_FFFF) as usize, t.reverse_port(v, p));
+                // The peer port lives at the neighbor and routes back here.
+                let peer = t.peer(g);
+                assert_eq!(t.port_node(peer), port.neighbor);
+                assert_eq!(t.peer(peer), g);
+                assert_eq!(peer, t.port_lo(port.neighbor) + t.reverse_port(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn drain_order_sorts_ports_by_neighbor() {
+        // Node 3's adjacency is built in edge-input order (2, 0, 1); the
+        // drain order must visit neighbors ascending (0, 1, 2).
+        let t = Topology::new(4, &[(3, 2, 1), (3, 0, 1), (3, 1, 1)]).unwrap();
+        let nbrs: Vec<usize> =
+            t.drain_order(3).iter().map(|&p| t.ports(3)[p as usize].neighbor).collect();
+        assert_eq!(nbrs, vec![0, 1, 2]);
     }
 
     #[test]

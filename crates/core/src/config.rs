@@ -36,6 +36,11 @@ pub struct ElkinConfig {
     /// output (Theorem 4.3 standalone; used by
     /// [`run_forest`](crate::run_forest)).
     pub stop_after_forest: bool,
+    /// Simulator worker shards (forwarded to
+    /// [`RunConfig::shards`](congest_sim::RunConfig)): `1` (the default)
+    /// runs sequentially, `0` auto-sizes to the machine. Purely a wallclock
+    /// knob — results are bit-identical for every value.
+    pub shards: u32,
 }
 
 impl Default for ElkinConfig {
@@ -47,6 +52,7 @@ impl Default for ElkinConfig {
             merge_control: MergeControl::Matched,
             schedule_mode: ScheduleMode::Adaptive,
             stop_after_forest: false,
+            shards: 1,
         }
     }
 }

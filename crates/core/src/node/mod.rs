@@ -459,6 +459,31 @@ impl NodeProgram for ElkinNode {
         self.finished
     }
 
+    // Idle-skip hints (see the trait contract): each stage reports the next
+    // round at which it would act spontaneously; everything else is
+    // message-driven and the simulator wakes us on delivery. A wrong hint
+    // here changes message timing, which the golden round pins catch.
+    fn next_wake(&self, after: u64) -> Option<u64> {
+        if self.finished {
+            return None;
+        }
+        match self.stage {
+            Stage::A => {
+                if self.a.seen && !self.a.closed {
+                    // `BfsChild` replies close two rounds after our send.
+                    Some(self.a.close_round)
+                } else {
+                    // With parameters agreed, Stage B starts at t0; until
+                    // then everything (BFS wave, size convergecast, the
+                    // params broadcast) arrives as messages.
+                    self.params.map(|p| p.t0)
+                }
+            }
+            Stage::B => self.b_next_wake(after),
+            Stage::CD => self.cd_next_wake(after),
+        }
+    }
+
     fn stage_tag(&self) -> &'static str {
         match self.stage {
             Stage::A => "a",

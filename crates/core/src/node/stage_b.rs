@@ -328,6 +328,32 @@ impl ElkinNode {
         self.sched = Some(sched);
     }
 
+    /// Idle-skip hint for Stage B (the `NodeProgram::next_wake` contract):
+    /// the next round at which `b_act` does anything with an empty inbox.
+    ///
+    /// `b_dispatch` only acts at window boundaries (`offset == 0` or
+    /// `slot.last`) and at phase transitions, so those are the only rounds
+    /// worth waking for; everything in between is message-driven
+    /// (`b_handle`). In an adaptive sync phase the open-ended merge-flood
+    /// window has no future boundary: `b_sync_tick`'s guards only change on
+    /// message receipt or at a boundary — both awake rounds — so between
+    /// them the tick is a no-op and the vertex can sleep until `SyncStart`
+    /// (`b_next`) names the next phase start.
+    pub(crate) fn b_next_wake(&self, after: u64) -> Option<u64> {
+        let sched = self.sched.as_ref()?;
+        match self.cfg.schedule_mode {
+            ScheduleMode::Fixed => Some(sched.next_boundary(after)),
+            ScheduleMode::Adaptive => {
+                if let Some((_, start)) = self.b_next {
+                    return Some(start);
+                }
+                let rel = after.checked_sub(self.b_phase_start)?;
+                let next = sched.next_boundary_rel(self.b_phase, rel);
+                (next > rel).then_some(self.b_phase_start + next)
+            }
+        }
+    }
+
     /// Executes one scheduled round: the window actions of `slot`.
     fn b_dispatch(&mut self, ctx: &mut RoundCtx<'_, Msg>, sched: &Schedule, slot: Slot) {
         let p = sched.radius(slot.phase);

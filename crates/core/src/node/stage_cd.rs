@@ -367,6 +367,69 @@ impl ElkinNode {
         }
     }
 
+    /// Idle-skip hint for Stages C/D (the `NodeProgram::next_wake`
+    /// contract): `Some(after + 1)` iff any `cd_act` step would fire next
+    /// round without new messages, else `None` (purely message-driven).
+    ///
+    /// This mirrors `cd_act`'s guards one-for-one — keep the two in sync.
+    /// Every mirrored step either makes monotone progress on a queue or
+    /// latches a flag, so a `true` here never repeats forever. Budget-gated
+    /// sends (`pipe_budget`) that defer leave their guard standing, which
+    /// correctly re-arms the wake for the round after the ledger resets.
+    pub(crate) fn cd_next_wake(&self, after: u64) -> Option<u64> {
+        // Root-side registration-completion latch.
+        let root_latch_pending = self.root.as_ref().is_some_and(|root| {
+            !root.reg_complete
+                && self.c.interval_received
+                && root.reg_done_children == self.bfs_children.len()
+        });
+        // (a) announce the current phase.
+        let announce_pending =
+            !self.done_seen && !self.d.announced && self.coarse_ready == Some(self.d.phase);
+        // (b) fragment-subtree aggregation completion.
+        let aggregate_pending = self.d.announced
+            && !self.d.responded
+            && self.d.ann_recv == self.deg
+            && self.d.frag_up_recv == self.frag_children.len();
+        // (c) registration pipeline: queued slots, or a due `RegDone`.
+        let register_pending = self.c.interval_received
+            && !self.c.reg_done_sent
+            && self.bfs_parent.is_some()
+            && (!self.c.reg_queue.is_empty()
+                || ((!self.is_frag_root() || self.c.registered)
+                    && self.c.reg_done_children == self.bfs_children.len()));
+        // (d) candidate pipeline flush.
+        let upcast_pending = self.bfs_parent.is_some() && !self.d.up_pending.is_empty();
+        // (e) `UpDone` / root-local merge. The BFS root also fires when the
+        // latch above completes registration this coming round.
+        let updone_pending = !self.done_seen
+            && !self.d.updone_sent
+            && (!self.is_frag_root() || self.d.injected)
+            && self.d.updone_children == self.bfs_children.len()
+            && self.d.up_pending.is_empty()
+            && (self.bfs_parent.is_some()
+                || root_latch_pending
+                || self.root.as_ref().is_some_and(|r| r.reg_complete));
+        // (f) downcast pipeline flush.
+        let downcast_pending = self.down.iter().any(|q| !q.is_empty());
+        // Final quiescence check (flips `finished`).
+        let quiesce_pending = self.done_seen
+            && !self.finished
+            && self.d.up_pending.is_empty()
+            && self.c.reg_queue.is_empty()
+            && self.down.iter().all(|q| q.is_empty());
+
+        (root_latch_pending
+            || announce_pending
+            || aggregate_pending
+            || register_pending
+            || upcast_pending
+            || updone_pending
+            || downcast_pending
+            || quiesce_pending)
+            .then_some(after + 1)
+    }
+
     // ---- helpers ----
 
     /// Lightest incident edge leaving my *coarse* fragment.

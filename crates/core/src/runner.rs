@@ -131,6 +131,7 @@ fn sim_config(g: &WeightedGraph, cfg: &ElkinConfig) -> RunConfig {
         // Generous but finite: Stage B budgets are O(k log* n) <= O(n), each
         // Boruvka phase is O(n), and there are O(log n) of them.
         max_rounds: 1_000_000 + 600 * g.num_nodes() as u64,
+        shards: cfg.shards,
         ..RunConfig::default()
     }
 }

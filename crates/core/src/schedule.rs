@@ -377,6 +377,49 @@ impl Schedule {
         Some(self.locate_rel(phase, round - self.phase_starts[phase as usize]))
     }
 
+    /// The smallest relative offset `> rel` within phase `phase` that is a
+    /// window's first or final round, or the phase length (the phase-end
+    /// transition round) when no such offset remains. These are exactly the
+    /// offsets at which [`crate::node::ElkinNode`] acts spontaneously —
+    /// every window arms its actions at offset 0 and/or its last round — so
+    /// they are the Stage B wake points of the executor's idle-skip
+    /// contract. Returns a value `<= rel` only when `rel` is already at or
+    /// past the phase length (open-ended flood tail): no boundary remains.
+    pub fn next_boundary_rel(&self, phase: u32, rel: u64) -> u64 {
+        let mut start = 0u64;
+        for (_, len) in self.layout(phase) {
+            if start > rel {
+                return start;
+            }
+            let last = start + len - 1;
+            if last > rel {
+                return last;
+            }
+            start += len;
+        }
+        start
+    }
+
+    /// Absolute-round companion of [`Schedule::next_boundary_rel`] for
+    /// [`ScheduleMode::Fixed`], where phase starts are nominal: the next
+    /// boundary round strictly after `round`. Before `t0` that is `t0`
+    /// itself; at or past [`Schedule::end`] (not a Stage B round) it
+    /// degenerates to `round + 1`.
+    pub fn next_boundary(&self, round: u64) -> u64 {
+        if round < self.t0 {
+            return self.t0;
+        }
+        if round >= self.end() {
+            return round + 1;
+        }
+        let phase = match self.phase_starts.binary_search(&round) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let start = self.phase_starts[phase];
+        start + self.next_boundary_rel(phase as u32, round - start)
+    }
+
     /// Locates round `rel` (0-based) within phase `phase`, independent of
     /// absolute time. Offsets beyond the nominal layout stay in the
     /// (open-ended) merge-flood window — that is how sync-ended adaptive
@@ -530,6 +573,58 @@ mod tests {
         let tall = Params { n: 64, h: 1000, k: 16, t0: 0 };
         let t = Schedule::new(&tall, MergeControl::Matched, ScheduleMode::Adaptive);
         assert!(!t.sync_phase(3));
+    }
+
+    #[test]
+    fn next_boundary_matches_naive_scan() {
+        for (merge, mode) in [
+            (MergeControl::Matched, ScheduleMode::Fixed),
+            (MergeControl::Matched, ScheduleMode::Adaptive),
+            (MergeControl::Uncontrolled, ScheduleMode::Fixed),
+        ] {
+            let s = Schedule::new(&params(64, 8), merge, mode);
+            // A round is a wake boundary iff it opens or closes a window;
+            // the stage-end transition round (end()) is one as well.
+            let is_boundary = |r: u64| {
+                s.locate(r).map(|slot| slot.offset == 0 || slot.last).unwrap_or(r == s.end())
+            };
+            for r in s.start().saturating_sub(2)..s.end() {
+                let nb = s.next_boundary(r);
+                assert!(
+                    nb > r && is_boundary(nb),
+                    "{merge:?}/{mode:?}: bad boundary {nb} after {r}"
+                );
+                for mid in (r + 1)..nb {
+                    assert!(
+                        !is_boundary(mid),
+                        "{merge:?}/{mode:?}: missed boundary {mid} after {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_boundary_rel_walks_window_edges() {
+        let s = Schedule::new(&params(64, 8), MergeControl::Matched, ScheduleMode::Adaptive);
+        for phase in 0..s.num_phases() {
+            let len = s.phase_len(phase);
+            for rel in 0..len {
+                let nb = s.next_boundary_rel(phase, rel);
+                assert!(nb > rel && nb <= len);
+                if nb < len {
+                    let slot = s.locate_rel(phase, nb);
+                    assert!(slot.offset == 0 || slot.last);
+                    for mid in (rel + 1)..nb {
+                        let m = s.locate_rel(phase, mid);
+                        assert!(m.offset != 0 && !m.last, "missed rel boundary {mid}");
+                    }
+                }
+            }
+            // Past the nominal layout no boundary remains.
+            assert!(s.next_boundary_rel(phase, len) <= len);
+            assert!(s.next_boundary_rel(phase, len + 9) <= len + 9);
+        }
     }
 
     #[test]

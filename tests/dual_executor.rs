@@ -1,0 +1,29 @@
+//! Sequential-vs-sharded executor equivalence on the real algorithm: the
+//! full four-stage run over the T1 trio must produce bit-identical
+//! [`RunStats`](dmst::congest::RunStats) — rounds, messages, per-tag
+//! tables, and the `rounds_by_stage` census — and the same MST, for every
+//! shard count. Together with the absolute pins of `tests/round_pins.rs`
+//! this locks the incremental stage census to the legacy per-round scan.
+
+use dmst::core::{run_mst, ElkinConfig};
+use dmst_bench::standard_trio;
+
+#[test]
+fn t1_trio_stats_are_shard_invariant() {
+    for w in standard_trio(256, 0x51) {
+        let base_cfg = ElkinConfig::default();
+        let baseline = run_mst(&w.graph, &base_cfg).expect("sequential run");
+        let total: u64 = baseline.stats.rounds_by_stage.values().sum();
+        assert_eq!(
+            total, baseline.stats.rounds,
+            "{}: stage census must partition the rounds",
+            w.name
+        );
+        for shards in [0, 2, 4] {
+            let cfg = ElkinConfig { shards, ..base_cfg };
+            let run = run_mst(&w.graph, &cfg).expect("sharded run");
+            assert_eq!(run.edges, baseline.edges, "{}: MST changed (shards={shards})", w.name);
+            assert_eq!(run.stats, baseline.stats, "{}: stats diverged (shards={shards})", w.name);
+        }
+    }
+}

@@ -41,6 +41,32 @@ fn cliquepath_2304_adaptive_within_budget() {
     );
 }
 
+/// The executor-rebuild acceptance run: one million vertices, all four
+/// stages, through the *sharded* executor, checked against the Kruskal
+/// oracle. Sharding is forced (`shards: 2`) so the cross-shard delivery
+/// path runs at scale even on a single-core runner; the stats are
+/// bit-identical to a sequential run by the determinism gate
+/// (`crates/congest/tests/determinism.rs`, `tests/dual_executor.rs`).
+/// Release CI runs this by name (see `.github/workflows/ci.yml`); see
+/// EXPERIMENTS.md "Simulator throughput" for the measured wallclock.
+#[test]
+#[ignore = "large: run with --release -- --ignored"]
+fn million_vertex_random_end_to_end() {
+    let r = &mut gen::WeightRng::new(0x5CA1E);
+    let g = gen::random_connected(1_000_000, 2_000_000, r);
+    let truth = mst::kruskal(&g);
+    let cfg = ElkinConfig { shards: 2, ..ElkinConfig::default() };
+    let run = run_mst(&g, &cfg).expect("million-vertex run");
+    assert_eq!(run.edges, truth.edges, "MST must match the oracle at n = 10^6");
+    let total: u64 = run.stats.rounds_by_stage.values().sum();
+    assert_eq!(total, run.stats.rounds, "stage census must partition the rounds");
+    assert!(
+        run.profile.stage_d > 0,
+        "all four stages must actually execute (got {:?})",
+        run.stats.rounds_by_stage
+    );
+}
+
 #[test]
 #[ignore = "large: run with --release -- --ignored"]
 fn torus_16k_all_checks() {
