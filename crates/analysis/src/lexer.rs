@@ -1,0 +1,516 @@
+//! A minimal Rust lexer: just enough to tokenize the workspace's sources
+//! for the rule engine, with no dependency on `syn` or `proc-macro2` (the
+//! build is offline; see the crate docs for why a full parse is overkill).
+//!
+//! The lexer produces a flat token stream with line numbers, swallows
+//! comments (extracting `dmst-analysis:allow(...)` pragmas from them), and
+//! understands the token classes the rules care about: identifiers,
+//! integer/float literals, string/char literals (including raw strings and
+//! lifetimes), and single-character punctuation.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `_`, ...).
+    Ident,
+    /// Numeric literal (`0`, `8u32`, `1_000`, `0x1F`, `1.5`).
+    Num,
+    /// String literal; `text` holds the raw content between the quotes.
+    Str,
+    /// Char literal; `text` holds the raw content between the quotes.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` holds the name without the quote.
+    Lifetime,
+    /// Single punctuation character (`{`, `=`, `*`, ...).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What class of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Numeric value of a [`TokKind::Num`] token, if it is a plain integer
+    /// (underscores and type suffixes are stripped; hex/octal/binary are
+    /// decoded; floats return `None`).
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::Num {
+            return None;
+        }
+        let cleaned: String = self.text.chars().filter(|&c| c != '_').collect();
+        let strip = |s: &str| -> String {
+            // Type suffixes (`u32`, `usize`, `i8`, ...) are the only legal
+            // trailing alphabetics outside the digit set of the radix.
+            for suf in ["usize", "isize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"] {
+                if let Some(body) = s.strip_suffix(suf) {
+                    return body.to_string();
+                }
+            }
+            s.to_string()
+        };
+        if let Some(hex) = cleaned.strip_prefix("0x") {
+            return u64::from_str_radix(&strip(hex), 16).ok();
+        }
+        if let Some(oct) = cleaned.strip_prefix("0o") {
+            return u64::from_str_radix(&strip(oct), 8).ok();
+        }
+        if let Some(bin) = cleaned.strip_prefix("0b") {
+            return u64::from_str_radix(&strip(bin), 2).ok();
+        }
+        strip(&cleaned).parse().ok()
+    }
+}
+
+/// An inline suppression extracted from a comment:
+/// `// dmst-analysis:allow(<rule>) -- <reason>`.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// The rule id inside the parentheses.
+    pub rule: String,
+    /// The free-text reason after `--`.
+    pub reason: String,
+    /// 1-based line the pragma appears on.
+    pub line: u32,
+}
+
+/// A pragma-shaped comment that does not match the grammar (missing rule,
+/// missing `-- <reason>`, unclosed parenthesis).
+#[derive(Clone, Debug)]
+pub struct MalformedPragma {
+    /// What is wrong with it.
+    pub what: String,
+    /// 1-based line of the offending comment.
+    pub line: u32,
+}
+
+/// Everything the lexer extracts from one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Tok>,
+    /// Well-formed allow pragmas, in source order.
+    pub pragmas: Vec<Pragma>,
+    /// Pragma-shaped comments that fail to parse.
+    pub malformed: Vec<MalformedPragma>,
+}
+
+const PRAGMA_KEY: &str = "dmst-analysis:allow";
+
+/// Lexes one file. Never fails: unterminated constructs simply end the
+/// token stream at end of input (the rules are heuristics, not a compiler).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                scan_pragma(&text, line, &mut out);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                scan_pragma(&text, start_line, &mut out);
+            }
+            '"' => {
+                let (text, ni, nl) = lex_string(&chars, i, line);
+                out.tokens.push(Tok { kind: TokKind::Str, text, line });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                let (tok, ni) = lex_quote(&chars, i, line);
+                out.tokens.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !chars[start..i].contains(&'.')
+                    {
+                        i += 1; // decimal point of a float, not a range `..`
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.tokens.push(Tok { kind: TokKind::Num, text, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"..."`, `r#"..."#`, `b"..."`.
+                let next = chars.get(i).copied();
+                if matches!(text.as_str(), "r" | "b" | "br") && matches!(next, Some('"' | '#')) {
+                    if let Some((text, ni, nl)) = lex_raw_string(&chars, i, line) {
+                        out.tokens.push(Tok { kind: TokKind::Str, text, line });
+                        i = ni;
+                        line = nl;
+                        continue;
+                    }
+                }
+                out.tokens.push(Tok { kind: TokKind::Ident, text, line });
+            }
+            c => {
+                out.tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lexes a `"..."` string starting at `chars[i] == '"'`. Returns the inner
+/// text, the index past the closing quote, and the updated line counter.
+fn lex_string(chars: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let start = i + 1;
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => break,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let text: String = chars[start..i.min(chars.len())].iter().collect();
+    (text, (i + 1).min(chars.len()), line)
+}
+
+/// Lexes `r"..."` / `r#"..."#` / `b"..."` starting just past the prefix
+/// ident. `None` if it turns out not to be a string (e.g. `r#foo` raw ident).
+fn lex_raw_string(chars: &[char], mut i: usize, mut line: u32) -> Option<(String, usize, u32)> {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None; // raw identifier like `r#match`
+    }
+    i += 1;
+    let start = i;
+    'outer: while i < chars.len() {
+        if chars[i] == '\n' {
+            line += 1;
+        }
+        if chars[i] == '"' {
+            for h in 0..hashes {
+                if chars.get(i + 1 + h) != Some(&'#') {
+                    i += 1;
+                    continue 'outer;
+                }
+            }
+            return Some((chars[start..i].iter().collect(), i + 1 + hashes, line));
+        }
+        i += 1;
+    }
+    Some((chars[start..].iter().collect(), chars.len(), line))
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal),
+/// starting at `chars[i] == '\''`.
+fn lex_quote(chars: &[char], i: usize, line: u32) -> (Tok, usize) {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            let text: String = chars[i + 1..j.min(chars.len())].iter().collect();
+            (Tok { kind: TokKind::Char, text, line }, (j + 1).min(chars.len()))
+        }
+        Some(&c) if chars.get(i + 2) == Some(&'\'') => {
+            (Tok { kind: TokKind::Char, text: c.to_string(), line }, i + 3)
+        }
+        Some(&c) if c.is_alphabetic() || c == '_' => {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let text: String = chars[i + 1..j].iter().collect();
+            (Tok { kind: TokKind::Lifetime, text, line }, j)
+        }
+        _ => (Tok { kind: TokKind::Punct, text: "'".to_string(), line }, i + 1),
+    }
+}
+
+/// Extracts an allow pragma (or records a malformed one) from a comment.
+fn scan_pragma(comment: &str, line: u32, out: &mut Lexed) {
+    let Some(pos) = comment.find(PRAGMA_KEY) else { return };
+    let rest = &comment[pos + PRAGMA_KEY.len()..];
+    let Some(open) = rest.strip_prefix('(') else {
+        out.malformed.push(MalformedPragma {
+            what: format!("expected `(<rule>)` after `{PRAGMA_KEY}`"),
+            line,
+        });
+        return;
+    };
+    let Some(close) = open.find(')') else {
+        out.malformed
+            .push(MalformedPragma { what: "unclosed `(` in allow pragma".to_string(), line });
+        return;
+    };
+    let rule = open[..close].trim().to_string();
+    if rule.is_empty() {
+        out.malformed.push(MalformedPragma { what: "empty rule id in allow pragma".into(), line });
+        return;
+    }
+    let after = open[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        out.malformed.push(MalformedPragma {
+            what: format!("allow({rule}) is missing its `-- <reason>` justification"),
+            line,
+        });
+        return;
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        out.malformed.push(MalformedPragma {
+            what: format!("allow({rule}) has an empty `-- <reason>` justification"),
+            line,
+        });
+        return;
+    }
+    out.pragmas.push(Pragma { rule, reason: reason.to_string(), line });
+}
+
+/// Index of the brace that closes the one at `open` (which must be `{`),
+/// or `tokens.len()` if unbalanced.
+pub fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+    debug_assert!(tokens[open].is_punct('{'));
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Marks every token inside a `#[cfg(test)] mod ... { ... }` region.
+/// Returns a parallel `bool` mask (`true` = test code). Attributes between
+/// the `cfg(test)` and the `mod` keyword (e.g. `#[allow(...)]`) are
+/// tolerated.
+pub fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes.
+        while j < tokens.len() && tokens[j].is_punct('#') {
+            if tokens.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+                let mut depth = 0usize;
+                j += 1;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('[') {
+                        depth += 1;
+                    } else if tokens[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if j < tokens.len() && tokens[j].is_ident("mod") {
+            // `mod name {` — mark the whole block.
+            if let Some(open) = (j..tokens.len().min(j + 4)).find(|&k| tokens[k].is_punct('{')) {
+                let close = matching_brace(tokens, open);
+                for m in mask.iter_mut().take(close + 1).skip(i) {
+                    *m = true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` modules.
+pub fn test_line_ranges(tokens: &[Tok], mask: &[bool]) -> Vec<(u32, u32)> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    for (t, &m) in tokens.iter().zip(mask) {
+        if !m {
+            continue;
+        }
+        match ranges.last_mut() {
+            Some(r) if t.line <= r.1 + 1 => r.1 = r.1.max(t.line),
+            _ => ranges.push((t.line, t.line)),
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("fn f(x: u32) -> u32 { x + 0x1F }");
+        let idents: Vec<&str> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["fn", "f", "x", "u32", "u32", "x"]);
+        let num = l.tokens.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert_eq!(num.int_value(), Some(0x1F));
+    }
+
+    #[test]
+    fn int_values() {
+        for (src, want) in
+            [("0", 0), ("8u32", 8), ("1_000", 1000), ("0x10", 16), ("0b101", 5), ("0o17", 15)]
+        {
+            let l = lex(src);
+            assert_eq!(l.tokens[0].int_value(), Some(want), "{src}");
+        }
+        assert_eq!(lex("1.5").tokens[0].int_value(), None);
+        // A range does not glue into a float.
+        let l = lex("0..n");
+        assert_eq!(l.tokens[0].int_value(), Some(0));
+        assert!(l.tokens[3].is_ident("n"));
+    }
+
+    #[test]
+    fn comments_strings_lifetimes() {
+        let src = r##"
+            // line comment with "quotes"
+            /* block /* nested */ comment */
+            let s = "str with // not a comment";
+            let r = r#"raw "inner" string"#;
+            let c = 'x';
+            let nl = '\n';
+            fn f<'a>(x: &'a str) {}
+        "##;
+        let l = lex(src);
+        let strs: Vec<&str> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, ["str with // not a comment", r#"raw "inner" string"#]);
+        let lifetimes: usize = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars: usize = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn pragma_extraction() {
+        let src = "let x = 1; // dmst-analysis:allow(hash-order) -- membership only\n";
+        let l = lex(src);
+        assert_eq!(l.pragmas.len(), 1);
+        assert_eq!(l.pragmas[0].rule, "hash-order");
+        assert_eq!(l.pragmas[0].reason, "membership only");
+        assert_eq!(l.pragmas[0].line, 1);
+    }
+
+    #[test]
+    fn pragma_missing_reason_is_malformed() {
+        let l = lex("// dmst-analysis:allow(hash-order)\n");
+        assert!(l.pragmas.is_empty());
+        assert_eq!(l.malformed.len(), 1);
+        assert!(l.malformed[0].what.contains("missing"));
+    }
+
+    #[test]
+    fn cfg_test_mask() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn hidden() {}\n}\nfn live2() {}";
+        let l = lex(src);
+        let mask = test_region_mask(&l.tokens);
+        let hidden_idx = l.tokens.iter().position(|t| t.is_ident("hidden")).unwrap();
+        let live2_idx = l.tokens.iter().position(|t| t.is_ident("live2")).unwrap();
+        assert!(mask[hidden_idx]);
+        assert!(!mask[live2_idx]);
+        let ranges = test_line_ranges(&l.tokens, &mask);
+        assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn line_numbers_cross_strings() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! CLI for the protocol-contract analyzer.
+//!
+//! ```text
+//! cargo run -p dmst-analysis -- --check            # analyze the workspace
+//! cargo run -p dmst-analysis -- --check --root DIR # analyze another tree
+//! cargo run -p dmst-analysis -- --list-rules       # print the rule catalog
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding survives suppression,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dmst_analysis::{analyze, collect_workspace, rules};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut check = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--list-rules" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: dmst-analysis [--check] [--root DIR] [--list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for r in rules::RULES {
+            println!("{:<16} {}", r.id, r.what.split_whitespace().collect::<Vec<_>>().join(" "));
+        }
+        if !check {
+            return ExitCode::SUCCESS;
+        }
+    }
+    if !check {
+        eprintln!("usage: dmst-analysis [--check] [--root DIR] [--list-rules]");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    let files = match collect_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("error: failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = analyze(&files);
+    if findings.is_empty() {
+        println!("dmst-analysis: {} files, 0 findings", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("dmst-analysis: {} files, {} findings", files.len(), findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,7 @@
+//! A clean executor-adjacent file: a reasoned allow that is used.
+
+pub fn dedup(xs: &[u64]) -> usize {
+    // dmst-analysis:allow(hash-order) -- membership-only dedup, never iterated
+    let set: std::collections::HashSet<&u64> = xs.iter().collect();
+    set.len()
+}

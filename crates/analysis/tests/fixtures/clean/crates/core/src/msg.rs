@@ -1,0 +1,43 @@
+//! A clean protocol file: exhaustive words(), positive word counts,
+//! mirrored tags.
+
+pub enum Msg {
+    Ping,
+    Pong { weight: u64 },
+}
+
+impl Message for Msg {
+    fn words(&self) -> u32 {
+        match self {
+            Msg::Ping => 1,
+            Msg::Pong { .. } => 2,
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            Msg::Ping => "a:bfs",
+            Msg::Pong { .. } => "b:reply",
+        }
+    }
+}
+
+pub(crate) const TAG_GUARDS: &[(&str, char, &str)] =
+    &[("a:bfs", 'a', "next_wake"), ("b:reply", 'b', "next_wake")];
+
+pub struct Node {
+    counts: std::collections::BTreeMap<u64, u64>,
+}
+
+impl Node {
+    fn stage_tag(&self) -> &'static str {
+        match self.counts.len() {
+            0 => "a",
+            _ => "b",
+        }
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        None
+    }
+}

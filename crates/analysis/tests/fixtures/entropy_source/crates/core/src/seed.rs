@@ -1,0 +1,6 @@
+//! Seeded violation: ambient entropy in protocol code.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

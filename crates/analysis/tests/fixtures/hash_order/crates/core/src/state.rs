@@ -1,0 +1,18 @@
+//! Seeded violation: an unordered map in protocol state.
+
+use std::collections::HashMap;
+
+pub struct State {
+    pub members: HashMap<u64, Vec<usize>>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Unordered collections are fine in test code.
+    use std::collections::HashSet;
+
+    #[test]
+    fn exempt() {
+        let _ = HashSet::<u64>::new();
+    }
+}

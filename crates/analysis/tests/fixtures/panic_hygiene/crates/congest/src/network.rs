@@ -1,0 +1,6 @@
+//! Seeded violation: bare unwrap and arithmetic indexing in the executor.
+
+pub fn drain(rings: &mut [Vec<u64>], base: usize, p: usize) -> u64 {
+    let ring = &mut rings[base + p];
+    ring.pop().unwrap()
+}

@@ -1,0 +1,22 @@
+//! Seeded violation: a wire tag with no TAG_GUARDS row, and a stale row.
+
+pub enum Msg {
+    Ping,
+    Burst,
+}
+
+impl Message for Msg {
+    fn words(&self) -> u32 {
+        match self {
+            Msg::Ping => 1,
+            Msg::Burst => 2,
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            Msg::Ping => "a:bfs",
+            Msg::Burst => "b:burst",
+        }
+    }
+}

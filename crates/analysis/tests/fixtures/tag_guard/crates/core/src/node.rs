@@ -1,0 +1,18 @@
+//! The guard table misses "b:burst" and keeps a stale "c:gone" row.
+
+pub(crate) const TAG_GUARDS: &[(&str, char, &str)] = &[
+    ("a:bfs", 'a', "next_wake"),
+    ("c:gone", 'c', "next_wake"),
+];
+
+pub struct Node;
+
+impl Node {
+    fn stage_tag(&self) -> &'static str {
+        "a"
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        None
+    }
+}

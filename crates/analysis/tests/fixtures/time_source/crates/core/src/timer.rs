@@ -1,0 +1,5 @@
+//! Seeded violation: wall-clock time in protocol code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: an allow pragma with nothing to suppress, and a
+//! malformed pragma missing its reason.
+
+// dmst-analysis:allow(hash-order) -- stale justification, nothing here anymore
+pub fn tidy() -> u64 {
+    7
+}
+
+// dmst-analysis:allow(time-source)
+pub fn also_tidy() -> u64 {
+    8
+}

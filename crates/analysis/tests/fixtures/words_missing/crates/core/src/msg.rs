@@ -1,0 +1,36 @@
+//! Seeded violation: a Msg variant without a words() arm, plus a
+//! wildcard arm that would hide the omission. The tag mirror below is
+//! complete so only the words rules fire.
+
+pub enum Msg {
+    Ping,
+    Pong { weight: u64 },
+    Probe(u64, u64),
+}
+
+impl Message for Msg {
+    fn words(&self) -> u32 {
+        match self {
+            Msg::Ping => 1,
+            _ => 2,
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        "a:bfs"
+    }
+}
+
+pub(crate) const TAG_GUARDS: &[(&str, char, &str)] = &[("a:bfs", 'a', "next_wake")];
+
+pub struct Node;
+
+impl Node {
+    fn stage_tag(&self) -> &'static str {
+        "a"
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        None
+    }
+}

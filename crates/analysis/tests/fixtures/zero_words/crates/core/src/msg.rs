@@ -1,0 +1,34 @@
+//! Seeded violation: a words() arm that can return 0. The tag mirror
+//! below is complete so only words-zero fires.
+
+pub enum Msg {
+    Ping,
+    Ack,
+}
+
+impl Message for Msg {
+    fn words(&self) -> u32 {
+        match self {
+            Msg::Ping => 1,
+            Msg::Ack => 0,
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        "a:bfs"
+    }
+}
+
+pub(crate) const TAG_GUARDS: &[(&str, char, &str)] = &[("a:bfs", 'a', "next_wake")];
+
+pub struct Node;
+
+impl Node {
+    fn stage_tag(&self) -> &'static str {
+        "a"
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        None
+    }
+}

@@ -1,0 +1,27 @@
+//! The tier-1 gate: the real workspace must analyze clean. This is the
+//! same engine and file set as `cargo run -p dmst-analysis -- --check`,
+//! so a violation fails `cargo test -q` even where CI is not running.
+
+use std::path::PathBuf;
+
+use dmst_analysis::{analyze, collect_workspace};
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = collect_workspace(&root).expect("workspace readable");
+    // Sanity: the walk actually saw the protocol crates (a broken root
+    // would vacuously pass).
+    assert!(files.len() >= 30, "suspiciously few files collected: {}", files.len());
+    for need in
+        ["crates/core/src/msg.rs", "crates/congest/src/network.rs", "crates/core/src/node/mod.rs"]
+    {
+        assert!(files.iter().any(|f| f.path == need), "missing {need}");
+    }
+    let findings = analyze(&files);
+    assert!(
+        findings.is_empty(),
+        "workspace contract violations:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -16,7 +16,7 @@
 //! second starts from the first's final state); the reported cost is the
 //! sum — see DESIGN.md.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use congest_sim::{Message, NodeInfo, NodeProgram, PortId, RoundCtx};
 
@@ -75,7 +75,7 @@ impl Message for PipeMsg {
 /// local cycle filter at every vertex and the final Kruskal at the root.
 #[derive(Clone, Debug, Default)]
 struct LabelUf {
-    parent: HashMap<u64, u64>,
+    parent: BTreeMap<u64, u64>,
 }
 
 impl LabelUf {

@@ -1,5 +1,16 @@
 //! Run-time configuration of a simulation.
 
+/// Default number of words in one unit message.
+///
+/// A unit message in our protocols carries at most ~6 fields (a tag, a
+/// weight, two endpoint ids, two fragment ids); 8 gives slack while
+/// staying `O(1)` words = `O(log n)` bits. Protocol code that needs the
+/// per-round word budget must derive it as `UNIT_WORDS * bandwidth` (or
+/// call [`RunConfig::capacity_words`]) instead of re-stating the unit size
+/// as a literal — the `dmst-analysis` `drifting-literal` rule enforces
+/// this.
+pub const UNIT_WORDS: u32 = 8;
+
 /// What to do when a round's sends over one edge direction exceed the
 /// bandwidth budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -76,10 +87,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         Self {
             bandwidth: 1,
-            // A unit message in our protocols carries at most ~6 fields
-            // (tag + weight + two endpoint ids + two fragment ids); 8 gives
-            // slack while staying O(1) words = O(log n) bits.
-            words_per_unit: 8,
+            words_per_unit: UNIT_WORDS,
             capacity: CapacityMode::Strict,
             max_rounds: 10_000_000,
             shards: 1,

@@ -71,7 +71,7 @@ mod network;
 mod stats;
 mod topology;
 
-pub use config::{CapacityMode, RunConfig};
+pub use config::{CapacityMode, RunConfig, UNIT_WORDS};
 pub use error::SimError;
 pub use message::Message;
 pub use network::{Network, NodeInfo, NodeProgram, RoundCtx};

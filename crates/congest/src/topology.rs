@@ -91,6 +91,7 @@ impl Topology {
             )));
         }
         let mut degree = vec![0u32; n];
+        // dmst-analysis:allow(hash-order) -- membership-only duplicate check, never iterated
         let mut seen = std::collections::HashSet::with_capacity(edges.len());
         for (eid, &(u, v, _)) in edges.iter().enumerate() {
             if u >= n || v >= n {

@@ -1,7 +1,7 @@
 //! Offline analysis of a Controlled-GHS base forest: the invariants of the
 //! paper's Theorem 4.3 and Lemmas 4.1/4.2.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dmst_graphs::{mst, WeightedGraph};
 
@@ -41,14 +41,14 @@ pub fn analyze_forest(g: &WeightedGraph, run: &ForestRun) -> ForestReport {
 
     // The canonical MST as an edge-endpoint set.
     let truth = mst::kruskal(g);
-    let mut mst_pairs = std::collections::HashSet::new();
+    let mut mst_pairs = std::collections::BTreeSet::new();
     for &e in &truth.edges {
         let (u, v) = g.endpoints(e);
         mst_pairs.insert((u.min(v), u.max(v)));
     }
 
     // Fragment membership and tree edges.
-    let mut members: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut members: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     for (v, &f) in run.fragment_of.iter().enumerate() {
         members.entry(f).or_default().push(v);
     }
@@ -91,8 +91,8 @@ pub fn analyze_forest(g: &WeightedGraph, run: &ForestRun) -> ForestReport {
         let root = *f as usize;
         assert!(verts.contains(&root), "fragment {f} does not contain its root");
         // Double sweep on a tree gives the exact diameter.
-        let (far, _) = bfs_far(&adj, root, verts.len());
-        let (_, diam) = bfs_far(&adj, far, verts.len());
+        let (far, _) = bfs_far(&adj, root);
+        let (_, diam) = bfs_far(&adj, far);
         max_diameter = max_diameter.max(diam);
     }
     if n == 0 {
@@ -103,9 +103,9 @@ pub fn analyze_forest(g: &WeightedGraph, run: &ForestRun) -> ForestReport {
 }
 
 /// BFS within one fragment's tree adjacency; returns the farthest vertex and
-/// its distance. `cap` bounds the traversal for safety.
-fn bfs_far(adj: &[Vec<usize>], src: usize, cap: usize) -> (usize, u64) {
-    let mut dist: HashMap<usize, u64> = HashMap::with_capacity(cap);
+/// its distance. Ordered map keeps the sweep deterministic.
+fn bfs_far(adj: &[Vec<usize>], src: usize) -> (usize, u64) {
+    let mut dist: BTreeMap<usize, u64> = BTreeMap::new();
     dist.insert(src, 0);
     let mut queue = std::collections::VecDeque::from([src]);
     let (mut far, mut fd) = (src, 0);
@@ -116,7 +116,7 @@ fn bfs_far(adj: &[Vec<usize>], src: usize, cap: usize) -> (usize, u64) {
             fd = d;
         }
         for &u in &adj[v] {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(u) {
                 e.insert(d + 1);
                 queue.push_back(u);
             }

@@ -7,7 +7,7 @@
 //! *pure* version of that computation, extracted so it can be unit-tested
 //! independently of the message machinery in `node::stage_cd`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dmst_graphs::UnionFind;
 
@@ -18,10 +18,10 @@ use crate::candidate::Candidate;
 pub struct MergeOutcome {
     /// New coarse id for every old coarse id (new id = minimum old id in
     /// the merged component).
-    pub new_id: HashMap<u64, u64>,
+    pub new_id: BTreeMap<u64, u64>,
     /// Slots (base-fragment addresses) whose candidate edge was chosen as
     /// an MST edge this phase.
-    pub chosen_slots: HashSet<u64>,
+    pub chosen_slots: BTreeSet<u64>,
     /// Whether a single coarse fragment remains (global termination).
     pub done: bool,
 }
@@ -39,14 +39,14 @@ pub struct MergeOutcome {
 /// # Panics
 ///
 /// Panics if a candidate references a coarse id not in `coarse_ids`.
-pub fn merge_fragment_graph(coarse_ids: &[u64], best: &HashMap<u64, Candidate>) -> MergeOutcome {
+pub fn merge_fragment_graph(coarse_ids: &[u64], best: &BTreeMap<u64, Candidate>) -> MergeOutcome {
     let mut ids: Vec<u64> = coarse_ids.to_vec();
     ids.sort_unstable();
     ids.dedup();
-    let index: HashMap<u64, usize> = ids.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let index: BTreeMap<u64, usize> = ids.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let mut uf = UnionFind::new(ids.len());
 
-    let mut chosen_slots = HashSet::new();
+    let mut chosen_slots = BTreeSet::new();
     for &c in &ids {
         if let Some(rec) = best.get(&c) {
             let a = index[&c];
@@ -67,7 +67,7 @@ pub fn merge_fragment_graph(coarse_ids: &[u64], best: &HashMap<u64, Candidate>) 
         let r = uf.find(i);
         rep_min[r] = rep_min[r].min(c);
     }
-    let new_id: HashMap<u64, u64> =
+    let new_id: BTreeMap<u64, u64> =
         ids.iter().enumerate().map(|(i, &c)| (c, rep_min[uf.find(i)])).collect();
     let done = uf.num_sets() <= 1;
 
@@ -95,7 +95,7 @@ mod tests {
     fn chain_merges_to_one() {
         // 0 -> 1 -> 2 -> 3, each via its own edge.
         let ids = [0u64, 1, 2, 3];
-        let best: HashMap<u64, Candidate> =
+        let best: BTreeMap<u64, Candidate> =
             [cand(0, 1, 5, 10), cand(1, 2, 3, 11), cand(2, 3, 4, 12), cand(3, 2, 4, 13)]
                 .into_iter()
                 .collect();
@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn two_components_not_done() {
         let ids = [0u64, 1, 7, 9];
-        let best: HashMap<u64, Candidate> = [
+        let best: BTreeMap<u64, Candidate> = [
             cand(0, 1, 1, 20),
             cand(1, 0, 1, 21), // mutual with the above
             cand(7, 9, 2, 22),
@@ -137,7 +137,7 @@ mod tests {
     fn missing_candidates_leave_singletons() {
         // Fragment 5 has no outgoing candidate (possible only when it is
         // alone, but the pure function tolerates it).
-        let out = merge_fragment_graph(&[5], &HashMap::new());
+        let out = merge_fragment_graph(&[5], &BTreeMap::new());
         assert!(out.done);
         assert_eq!(out.new_id[&5], 5);
         assert!(out.chosen_slots.is_empty());
@@ -147,7 +147,7 @@ mod tests {
     fn star_merge_picks_min_id() {
         // 3, 8, 12 all point at 2.
         let ids = [2u64, 3, 8, 12];
-        let best: HashMap<u64, Candidate> = [
+        let best: BTreeMap<u64, Candidate> = [
             cand(3, 2, 1, 30),
             cand(8, 2, 2, 31),
             cand(12, 2, 3, 32),
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown coarse id")]
     fn foreign_destination_rejected() {
-        let best: HashMap<u64, Candidate> = [cand(0, 99, 1, 0)].into_iter().collect();
+        let best: BTreeMap<u64, Candidate> = [cand(0, 99, 1, 0)].into_iter().collect();
         let _ = merge_fragment_graph(&[0], &best);
     }
 }

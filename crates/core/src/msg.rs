@@ -371,4 +371,47 @@ mod tests {
             assert!(m.words() <= 3);
         }
     }
+
+    #[test]
+    fn tag_guards_mirror_tags() {
+        // One representative per wire tag; a new tag that lands without a
+        // row here *and* in `node::TAG_GUARDS` fails both this test and the
+        // `dmst-analysis` tag-guard rule.
+        let reps = [
+            Msg::Bfs,
+            Msg::FragAnnounce { frag: 1, me: 2 },
+            Msg::MwoeUp { cand: None, overflow: false },
+            Msg::Participate,
+            Msg::ColorUp { color: 7 },
+            Msg::StatusCross,
+            Msg::MergePath,
+            Msg::SyncUp { phase: 1 },
+            Msg::Register { slot: 0 },
+            Msg::CoarseAnnounce { coarse: 1, me: 2 },
+            Msg::FragMwoeUp { cand: None },
+            Msg::UpDone,
+            Msg::Assign { dest_slot: 1, new_coarse: 2, chosen: true, done: false, next: 3 },
+            Msg::MarkPath,
+        ];
+        let guards = crate::node::TAG_GUARDS;
+        assert_eq!(guards.len(), reps.len(), "one TAG_GUARDS row per wire tag");
+        for m in &reps {
+            let tag = m.tag();
+            let row = guards
+                .iter()
+                .find(|(t, _, _)| *t == tag)
+                .unwrap_or_else(|| panic!("tag {tag:?} missing from TAG_GUARDS"));
+            assert_eq!(
+                tag.chars().next(),
+                Some(row.1),
+                "census letter of {tag:?} must match its stage prefix"
+            );
+        }
+        // Rows are unique and sorted, so diffs stay reviewable.
+        let tags: Vec<&str> = guards.iter().map(|(t, _, _)| *t).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(tags, sorted, "TAG_GUARDS rows must be sorted and unique");
+    }
 }

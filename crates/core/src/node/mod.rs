@@ -24,7 +24,7 @@ mod stage_a;
 mod stage_b;
 mod stage_cd;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use congest_sim::{NodeInfo, NodeProgram, PortId, RoundCtx};
@@ -149,9 +149,9 @@ pub(crate) struct DScratch {
     pub injected: bool,
     /// Best known candidate per source coarse id (also the BFS root's
     /// collection).
-    pub up_best: HashMap<u64, Candidate>,
+    pub up_best: BTreeMap<u64, Candidate>,
     /// Best key already forwarded per source coarse id.
-    pub up_sent: HashMap<u64, CandKey>,
+    pub up_sent: BTreeMap<u64, CandKey>,
     /// Entries of `up_best` not yet forwarded, ordered by key (send queue).
     pub up_pending: std::collections::BTreeSet<(CandKey, u64)>,
     pub updone_children: usize,
@@ -166,7 +166,7 @@ pub(crate) struct RootState {
     pub reg_done_children: usize,
     pub reg_complete: bool,
     /// Current coarse id of each registered base fragment (by slot).
-    pub slot_coarse: HashMap<u64, u64>,
+    pub slot_coarse: BTreeMap<u64, u64>,
 }
 
 /// The algorithm's per-vertex program. Construct via [`ElkinNode::new`] and
@@ -427,11 +427,39 @@ impl ElkinNode {
     /// headroom needs reserving. The simulator's strict capacity check
     /// loudly rejects any future send that violates this ordering.
     pub(crate) fn pipe_budget(&self, round: u64, port: PortId) -> u32 {
-        let cap = 8 * self.cfg.bandwidth;
+        let cap = congest_sim::UNIT_WORDS * self.cfg.bandwidth;
         let used = if self.ledger[port].0 == round { self.ledger[port].1 } else { 0 };
         cap.saturating_sub(used)
     }
 }
+
+/// The wake-guard table: one row per wire tag, mirroring
+/// `(tag, census stage letter, the next_wake helper that schedules the
+/// stage's spontaneous rounds)`.
+///
+/// This is the contract that `dmst-analysis`'s `tag-guard` rule enforces
+/// both ways: every tag `Msg::tag()` can return must appear here (so a new
+/// message class cannot land without auditing its census letter and wake
+/// guard — drift the proptests previously caught only by shrinkage), and
+/// every row must name a live tag, a letter `stage_tag` actually returns,
+/// and an existing guard function. `msg::tests::tag_guards_mirror_tags`
+/// cross-checks the table against the enum at test time.
+pub(crate) const TAG_GUARDS: &[(&str, char, &str)] = &[
+    ("a:bfs", 'a', "next_wake"),
+    ("b:announce", 'b', "b_next_wake"),
+    ("b:color", 'b', "b_next_wake"),
+    ("b:connect", 'b', "b_next_wake"),
+    ("b:match", 'b', "b_next_wake"),
+    ("b:merge", 'b', "b_next_wake"),
+    ("b:mwoe", 'b', "b_next_wake"),
+    ("b:sync", 'b', "b_next_wake"),
+    ("c:intervals", 'c', "cd_next_wake"),
+    ("d:announce", 'd', "cd_next_wake"),
+    ("d:downcast", 'd', "cd_next_wake"),
+    ("d:fragmwoe", 'd', "cd_next_wake"),
+    ("d:newcoarse", 'd', "cd_next_wake"),
+    ("d:upcast", 'd', "cd_next_wake"),
+];
 
 impl NodeProgram for ElkinNode {
     type Msg = Msg;
@@ -485,7 +513,7 @@ impl NodeProgram for ElkinNode {
     }
 
     fn stage_tag(&self) -> &'static str {
-        match self.stage {
+        let letter = match self.stage {
             Stage::A => "a",
             Stage::B => "b",
             // Stage D begins when this vertex holds its initial coarse id
@@ -494,6 +522,11 @@ impl NodeProgram for ElkinNode {
             // partition a+b+c+d == rounds still holds under fused phases.
             Stage::CD if self.milestones.entered_d != u64::MAX => "d",
             Stage::CD => "c",
-        }
+        };
+        debug_assert!(
+            TAG_GUARDS.iter().any(|&(_, l, _)| letter.starts_with(l)),
+            "census letter {letter:?} governs no TAG_GUARDS row"
+        );
+        letter
     }
 }

@@ -226,6 +226,7 @@ pub fn circulant(n: usize, offsets: &[usize], rng: &mut WeightRng) -> WeightedGr
 pub fn random_connected(n: usize, extra: usize, rng: &mut WeightRng) -> WeightedGraph {
     assert!(n > 0, "graph needs at least one vertex");
     let mut edges: Vec<(NodeId, NodeId, u64)> = (1..n).map(|v| (rng.index(v), v, 0)).collect();
+    // dmst-analysis:allow(hash-order) -- membership-only rejection sampling set, never iterated
     let mut seen: std::collections::HashSet<(NodeId, NodeId)> =
         edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
     let max_extra = n.saturating_mul(n.saturating_sub(1)) / 2 - edges.len();
@@ -341,7 +342,7 @@ pub fn snake_torus(rows: usize, cols: usize, rng: &mut WeightRng) -> WeightedGra
     let id = |r: usize, c: usize| r * cols + c;
     // Consecutive vertices along the snake: row 0 left-to-right, row 1
     // right-to-left, ...
-    let mut snake_rank = std::collections::HashMap::new();
+    let mut snake_rank = std::collections::BTreeMap::new();
     let mut prev: Option<usize> = None;
     let mut rank = 0u64;
     for r in 0..rows {

@@ -1,6 +1,5 @@
 //! The weighted graph type and the unique-MST tie-breaking order.
 
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -108,7 +107,8 @@ impl WeightedGraph {
     /// endpoints `>= n` — see [`GraphError`].
     pub fn new(n: usize, edges: Vec<(NodeId, NodeId, u64)>) -> Result<Self, GraphError> {
         let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
-        let mut seen = HashSet::with_capacity(edges.len());
+        // dmst-analysis:allow(hash-order) -- membership-only duplicate check, never iterated
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
         for (eid, &(u, v, _)) in edges.iter().enumerate() {
             if u >= n {
                 return Err(GraphError::EndpointOutOfRange { edge: eid, endpoint: u, n });
