@@ -42,6 +42,11 @@ pub const RULES: &[RuleInfo] = &[
                silently under-account new variants",
     },
     RuleInfo {
+        id: "encode-exhaustive",
+        what: "every Msg variant must appear in Message::encode() and Message::decode(); \
+               wildcard arms would silently mis-frame new variants on the wire",
+    },
+    RuleInfo {
         id: "words-zero",
         what: "a words() arm that can return 0 under-declares bandwidth (the >= 1 \
                contract of congest_sim::Message)",
@@ -127,6 +132,7 @@ pub fn check_file(f: &ParsedFile, findings: &mut Vec<Finding>) {
     if f.scope == Scope::Protocol {
         drifting_literal(f, findings);
         words_rules(f, findings);
+        encode_rules(f, findings);
         if f.path.ends_with("/network.rs") {
             panic_hygiene(f, findings);
         }
@@ -265,6 +271,74 @@ fn words_rules(f: &ParsedFile, findings: &mut Vec<Finding>) {
                 .to_string(),
         });
     }
+}
+
+/// `encode-exhaustive` over any file that defines `enum Msg`: every
+/// variant must appear (as `Msg::V` or `Self::V`) in the bodies of both
+/// `fn encode` and `fn decode`, and neither may use a `_ =>` wildcard
+/// arm. An unencoded variant trips the send-side length assertion only
+/// when it is first sent; a wildcard would let it land silently
+/// mis-framed and desynchronize every later message in the ring. (Named
+/// catch-all bindings over the *tag word* in decode — `other =>
+/// unreachable!(..)` — are fine: they reject, not absorb.)
+fn encode_rules(f: &ParsedFile, findings: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    let Some(variants) = msg_enum_variants(toks, &f.test_mask) else { return };
+    for fname in ["encode", "decode"] {
+        let Some((open, close)) = fn_body_span(toks, &f.test_mask, fname) else {
+            if let Some((_, line)) = variants.first() {
+                findings.push(Finding {
+                    rule: "encode-exhaustive",
+                    path: f.path.clone(),
+                    line: *line,
+                    msg: format!("enum Msg has no Message::{fname}()"),
+                });
+            }
+            continue;
+        };
+        for (v, line) in &variants {
+            let mentioned = (open + 1..close).any(|i| {
+                toks[i].is_ident(v)
+                    && i >= 3
+                    && (toks[i - 3].is_ident("Msg") || toks[i - 3].is_ident("Self"))
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 1].is_punct(':')
+            });
+            if !mentioned {
+                findings.push(Finding {
+                    rule: "encode-exhaustive",
+                    path: f.path.clone(),
+                    line: *line,
+                    msg: format!("Msg::{v} never appears in Message::{fname}()"),
+                });
+            }
+        }
+        for i in open + 1..close {
+            if toks[i].is_ident("_")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('>'))
+            {
+                findings.push(Finding {
+                    rule: "encode-exhaustive",
+                    path: f.path.clone(),
+                    line: toks[i].line,
+                    msg: format!(
+                        "wildcard arm in {fname}() would silently cover future variants; \
+                         list every variant explicitly"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Token span `(open, close)` of the brace-delimited body of the first
+/// non-test `fn <name>`.
+fn fn_body_span(toks: &[Tok], mask: &[bool], name: &str) -> Option<(usize, usize)> {
+    let fn_at = (0..toks.len().saturating_sub(1))
+        .find(|&i| toks[i].is_ident("fn") && toks[i + 1].is_ident(name) && !mask[i])?;
+    let open = (fn_at + 2..toks.len()).find(|&k| toks[k].is_punct('{'))?;
+    Some((open, matching_brace(toks, open)))
 }
 
 /// Variant names (with lines) of `pub enum Msg { ... }`, if this file
@@ -692,6 +766,59 @@ impl Message for Msg {
         assert_eq!(out.iter().filter(|f| f.msg.contains("wildcard")).count(), 1);
         assert_eq!(out.iter().filter(|f| f.msg.contains("Msg::B")).count(), 1);
         assert_eq!(out.iter().filter(|f| f.msg.contains("Msg::C")).count(), 1);
+    }
+
+    #[test]
+    fn encode_exhaustive_missing_and_wildcard() {
+        let src = r#"
+pub enum Msg { A, B { x: u64 }, C }
+impl Message for Msg {
+    fn words(&self) -> u32 { match self { Msg::A => 1, Msg::B { .. } => 2, Msg::C => 1 } }
+    fn tag(&self) -> &'static str { "a:bfs" }
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Msg::A => w.tag(0),
+            Msg::B { x } => { w.tag(1); w.word(*x); }
+            _ => w.tag(9),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => Msg::A,
+            1 => Msg::B { x: r.word() },
+            other => unreachable!("bad tag {other}"),
+        }
+    }
+}
+"#;
+        let f = protocol("crates/core/src/msg.rs", src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        let enc: Vec<_> = out.iter().filter(|f| f.rule == "encode-exhaustive").collect();
+        // C misses both bodies, encode has a wildcard; the named `other`
+        // catch-all over the decode tag word is NOT flagged.
+        assert_eq!(enc.len(), 3, "{enc:#?}");
+        assert_eq!(enc.iter().filter(|f| f.msg.contains("Msg::C")).count(), 2, "{enc:#?}");
+        assert_eq!(enc.iter().filter(|f| f.msg.contains("wildcard")).count(), 1, "{enc:#?}");
+        assert!(enc.iter().all(|f| !f.msg.contains("other")), "{enc:#?}");
+    }
+
+    #[test]
+    fn encode_exhaustive_flags_missing_fns() {
+        let src = r#"
+pub enum Msg { A }
+impl Message for Msg {
+    fn words(&self) -> u32 { match self { Msg::A => 1 } }
+    fn tag(&self) -> &'static str { "a:bfs" }
+}
+"#;
+        let f = protocol("crates/core/src/msg.rs", src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        let enc: Vec<_> = out.iter().filter(|f| f.rule == "encode-exhaustive").collect();
+        assert_eq!(enc.len(), 2, "{enc:#?}");
+        assert!(enc.iter().any(|f| f.msg.contains("no Message::encode()")), "{enc:#?}");
+        assert!(enc.iter().any(|f| f.msg.contains("no Message::decode()")), "{enc:#?}");
     }
 
     #[test]

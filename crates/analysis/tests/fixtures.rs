@@ -71,6 +71,22 @@ fn words_missing_arm_and_wildcard() {
 }
 
 #[test]
+fn encode_missing_variant_and_wildcard() {
+    expect(
+        "encode_missing",
+        &[
+            ("encode-exhaustive", "crates/core/src/msg.rs", 9),
+            ("encode-exhaustive", "crates/core/src/msg.rs", 9),
+            ("encode-exhaustive", "crates/core/src/msg.rs", 32),
+        ],
+    );
+    let got = run("encode_missing");
+    assert!(got.iter().any(|f| f.msg.contains("Msg::Probe never appears in Message::encode()")));
+    assert!(got.iter().any(|f| f.msg.contains("Msg::Probe never appears in Message::decode()")));
+    assert!(got.iter().any(|f| f.msg.contains("wildcard")), "{got:#?}");
+}
+
+#[test]
 fn zero_words() {
     expect("zero_words", &[("words-zero", "crates/core/src/msg.rs", 13)]);
 }

@@ -41,3 +41,23 @@ impl Node {
         None
     }
 }
+
+impl Msg {
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Msg::Ping => w.tag(0),
+            Msg::Pong { weight } => {
+                w.tag(1);
+                w.word(*weight);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => Msg::Ping,
+            1 => Msg::Pong { weight: r.word() },
+            other => unreachable!("unknown tag {other}"),
+        }
+    }
+}

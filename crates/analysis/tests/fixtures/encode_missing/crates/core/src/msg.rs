@@ -1,23 +1,44 @@
-//! Seeded violation: a Msg variant without a words() arm, plus a
-//! wildcard arm that would hide the omission. The tag mirror below is
-//! complete so only the words rules fire.
+//! Seeded violation: a Msg variant absent from both encode() and
+//! decode(), plus a wildcard arm in encode() that would hide the
+//! omission on the wire. words() and the tag mirror are complete so
+//! only encode-exhaustive fires.
 
 pub enum Msg {
     Ping,
     Pong { weight: u64 },
-    Probe(u64, u64),
+    Probe(u64),
 }
 
 impl Message for Msg {
     fn words(&self) -> u32 {
         match self {
             Msg::Ping => 1,
-            _ => 2,
+            Msg::Pong { .. } => 2,
+            Msg::Probe(..) => 2,
         }
     }
 
     fn tag(&self) -> &'static str {
         "a:bfs"
+    }
+
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Msg::Ping => w.tag(0),
+            Msg::Pong { weight } => {
+                w.tag(1);
+                w.word(*weight);
+            }
+            _ => w.tag(9),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => Msg::Ping,
+            1 => Msg::Pong { weight: r.word() },
+            other => unreachable!("unknown tag {other}"),
+        }
     }
 }
 
@@ -32,31 +53,5 @@ impl Node {
 
     fn next_wake(&self) -> Option<u64> {
         None
-    }
-}
-
-impl Msg {
-    fn encode(&self, w: &mut WireWriter<'_>) {
-        match self {
-            Msg::Ping => w.tag(0),
-            Msg::Pong { weight } => {
-                w.tag(1);
-                w.word(*weight);
-            }
-            Msg::Probe(a, b) => {
-                w.tag(2);
-                w.word(*a);
-                w.word(*b);
-            }
-        }
-    }
-
-    fn decode(r: &mut WireReader<'_>) -> Self {
-        match r.tag() {
-            0 => Msg::Ping,
-            1 => Msg::Pong { weight: r.word() },
-            2 => Msg::Probe(r.word(), r.word()),
-            other => unreachable!("unknown tag {other}"),
-        }
     }
 }

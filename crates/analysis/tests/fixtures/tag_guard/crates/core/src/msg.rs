@@ -20,3 +20,20 @@ impl Message for Msg {
         }
     }
 }
+
+impl Msg {
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Msg::Ping => w.tag(0),
+            Msg::Burst => w.tag(1),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => Msg::Ping,
+            1 => Msg::Burst,
+            other => unreachable!("unknown tag {other}"),
+        }
+    }
+}

@@ -32,3 +32,20 @@ impl Node {
         None
     }
 }
+
+impl Msg {
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Msg::Ping => w.tag(0),
+            Msg::Ack => w.tag(1),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => Msg::Ping,
+            1 => Msg::Ack,
+            other => unreachable!("unknown tag {other}"),
+        }
+    }
+}

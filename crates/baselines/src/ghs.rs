@@ -23,7 +23,7 @@
 //! Expected complexity: `O((D + Diam(MST) + Δ) log n)` rounds and
 //! `O(m + n log n)` messages.
 
-use congest_sim::{Message, NodeInfo, NodeProgram, PortId, RoundCtx};
+use congest_sim::{Message, NodeInfo, NodeProgram, PortId, RoundCtx, WireReader, WireWriter};
 
 use dmst_core::CandKey;
 
@@ -91,6 +91,73 @@ impl Message for GhsMsg {
             GhsMsg::SearchGo | GhsMsg::MwoeUp { .. } | GhsMsg::MwoePath => "ghs:search",
             GhsMsg::Test { .. } | GhsMsg::TestReply { .. } => "ghs:test",
             GhsMsg::Connect | GhsMsg::NewFrag { .. } => "ghs:merge",
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            GhsMsg::Hello { me } => {
+                w.tag(0);
+                w.pack(*me);
+            }
+            GhsMsg::Bfs => w.tag(1),
+            GhsMsg::BfsChild => w.tag(2),
+            GhsMsg::Ready => w.tag(3),
+            GhsMsg::PhaseStart => w.tag(4),
+            GhsMsg::SearchGo => w.tag(5),
+            GhsMsg::Test { frag } => {
+                w.tag(6);
+                w.pack(*frag);
+            }
+            GhsMsg::TestReply { same } => {
+                w.tag(7);
+                w.flag(0, *same);
+            }
+            GhsMsg::MwoeUp { cand } => {
+                // 3 declared words: the endpoint `lo` (a vertex id) packs
+                // into the tag word, the full-range weight and `hi` get
+                // whole words.
+                w.tag(8);
+                w.flag(0, cand.is_some());
+                let key = cand.unwrap_or(CandKey { weight: 0, lo: 0, hi: 0 });
+                w.pack(key.lo);
+                w.word(key.weight);
+                w.word(key.hi);
+            }
+            GhsMsg::MwoePath => w.tag(9),
+            GhsMsg::Connect => w.tag(10),
+            GhsMsg::NewFrag { id } => {
+                w.tag(11);
+                w.pack(*id);
+            }
+            GhsMsg::PhaseEnd => w.tag(12),
+            GhsMsg::AlgoDone => w.tag(13),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => GhsMsg::Hello { me: r.packed() },
+            1 => GhsMsg::Bfs,
+            2 => GhsMsg::BfsChild,
+            3 => GhsMsg::Ready,
+            4 => GhsMsg::PhaseStart,
+            5 => GhsMsg::SearchGo,
+            6 => GhsMsg::Test { frag: r.packed() },
+            7 => GhsMsg::TestReply { same: r.flag(0) },
+            8 => {
+                let some = r.flag(0);
+                let lo = r.packed();
+                let weight = r.word();
+                let hi = r.word();
+                GhsMsg::MwoeUp { cand: some.then_some(CandKey { weight, lo, hi }) }
+            }
+            9 => GhsMsg::MwoePath,
+            10 => GhsMsg::Connect,
+            11 => GhsMsg::NewFrag { id: r.packed() },
+            12 => GhsMsg::PhaseEnd,
+            13 => GhsMsg::AlgoDone,
+            other => unreachable!("unknown GhsMsg wire tag {other}"),
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use congest_sim::{Message, NodeInfo, NodeProgram, PortId, RoundCtx};
+use congest_sim::{Message, NodeInfo, NodeProgram, PortId, RoundCtx, WireReader, WireWriter};
 
 use dmst_core::{CandKey, ForestRun};
 
@@ -67,6 +67,50 @@ impl Message for PipeMsg {
             PipeMsg::Hello { .. } => "pipe:hello",
             PipeMsg::Cand { .. } | PipeMsg::PipeDone => "pipe:upcast",
             PipeMsg::Chosen { .. } | PipeMsg::DoneAll => "pipe:announce",
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            PipeMsg::Hello { frag, me } => {
+                w.tag(0);
+                w.pack(*frag); // fragment ids are vertex ids < n
+                w.word(*me);
+            }
+            PipeMsg::Cand { key, src, dst } => {
+                w.tag(1);
+                w.pack(*src);
+                w.word(key.weight);
+                w.word(key.lo);
+                w.word(key.hi);
+                w.word(*dst);
+            }
+            PipeMsg::PipeDone => w.tag(2),
+            PipeMsg::Chosen { key } => {
+                w.tag(3);
+                w.pack(key.lo);
+                w.word(key.weight);
+                w.word(key.hi);
+            }
+            PipeMsg::DoneAll => w.tag(4),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => PipeMsg::Hello { frag: r.packed(), me: r.word() },
+            1 => {
+                let src = r.packed();
+                let key = CandKey { weight: r.word(), lo: r.word(), hi: r.word() };
+                PipeMsg::Cand { key, src, dst: r.word() }
+            }
+            2 => PipeMsg::PipeDone,
+            3 => {
+                let lo = r.packed();
+                PipeMsg::Chosen { key: CandKey { weight: r.word(), lo, hi: r.word() } }
+            }
+            4 => PipeMsg::DoneAll,
+            other => unreachable!("unknown PipeMsg wire tag {other}"),
         }
     }
 }

@@ -15,8 +15,8 @@
 //!
 //! Pass `--smoke` to run only the CI guard: the n = 2304 cliquepath in
 //! both modes (asserting the >= 3x adaptive win, the fused-Stage-D round
-//! budgets, and the Stage D share ceiling) plus one low-diameter sanity
-//! point.
+//! budgets, the Stage D share ceiling, and per-row total-wire-word
+//! ceilings at measured x 1.1) plus one low-diameter sanity point.
 
 use dmst_baselines::{run_ghs, run_pipeline};
 use dmst_bench::{banner, header, row, standard_trio};
@@ -27,7 +27,7 @@ fn smoke() {
         "T1 (smoke): adaptive-schedule + fused-Stage-D round budget guard",
         "cliquepath n=2304: Adaptive <= 1/3 of Fixed, total <= 8640, Stage D <= 2820 and <= 36% of the run; identical MST",
     );
-    header(&["workload", "mode", "rounds", "stage D", "messages"]);
+    header(&["workload", "mode", "rounds", "stage D", "messages", "wire words"]);
     let cliquepath = standard_trio(2304, 0x51)
         .into_iter()
         .find(|w| w.name.starts_with("cliquepath"))
@@ -42,6 +42,7 @@ fn smoke() {
             run.stats.rounds.to_string(),
             run.profile.stage_d.to_string(),
             run.stats.messages.to_string(),
+            run.stats.wire_words.to_string(),
         ]);
     }
     assert!(
@@ -75,6 +76,25 @@ fn smoke() {
     let ta = run_mst(&torus.graph, &ElkinConfig::adaptive()).expect("torus adaptive");
     assert_eq!(tf.edges, ta.edges);
     assert!(ta.stats.rounds <= tf.stats.rounds, "adaptive must not regress the torus");
+    // Total-wire-words gate, one ceiling per smoke row: the measured
+    // encoded volume of each run + 10% slack. `wire_words` counts the
+    // words `Message::encode` actually wrote into the rings (not the
+    // declared `words()` the capacity check charges), so a protocol change
+    // that bloats the physical representation trips this even when the
+    // declared budgets stay flat.
+    for (label, run, ceiling) in [
+        ("cliquepath/fixed", &fixed, 902_122u64),
+        ("cliquepath/adaptive", &ada, 743_958),
+        ("torus/fixed", &tf, 40_872),
+        ("torus/adaptive", &ta, 42_816),
+    ] {
+        println!("wire gate: {label:<22} {:>9} (ceiling {ceiling})", run.stats.wire_words);
+        assert!(
+            run.stats.wire_words <= ceiling,
+            "{label}: total wire words {} exceed the measured-x-1.1 ceiling {ceiling}",
+            run.stats.wire_words
+        );
+    }
     println!(
         "\nsmoke ok: adaptive/fixed = {}/{}, stage D = {}",
         ada.stats.rounds, fixed.stats.rounds, ada.profile.stage_d

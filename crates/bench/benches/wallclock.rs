@@ -24,7 +24,15 @@ struct Flood {
 
 #[derive(Clone)]
 struct Tok;
-impl Message for Tok {}
+impl Message for Tok {
+    fn encode(&self, out: &mut congest_sim::WireWriter<'_>) {
+        out.word(0);
+    }
+    fn decode(r: &mut congest_sim::WireReader<'_>) -> Self {
+        r.word();
+        Tok
+    }
+}
 
 impl NodeProgram for Flood {
     type Msg = Tok;
@@ -103,6 +111,16 @@ fn gate_check<T>(label: &str, ceiling_ms: u128, work: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Peak resident set size of this process in kibibytes, from
+/// `/proc/self/status` `VmHWM` (Linux only; `None` elsewhere). Printed by
+/// the gate so memory regressions in the flat-arena executor are visible
+/// in CI logs next to the wallclock numbers.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// The pinned gate (`--gate`). Debug builds are ~10-20x slower and would
 /// need their own pins; CI runs this under `--release` only.
 fn gate() {
@@ -117,16 +135,22 @@ fn gate() {
 
     // End-to-end four-stage run at n = 16384 — the EXPERIMENTS.md
     // throughput workload (same generator and seed as scale_probe).
-    // Healthy: ~3 s release on one core (was ~10 s before the flat-arena
-    // executor); the rounds/messages of this run are themselves pinned so
-    // the gate cannot pass by doing less work.
+    // Healthy: ~2.9 s release on one core (was ~10 s before the flat-arena
+    // executor; the word-ring + PortArena rework held the line, so the
+    // ceiling is ratcheted from 15 s to 12 s). The rounds/messages of this
+    // run are themselves pinned so the gate cannot pass by doing less work.
     let g = gen::random_connected(16_384, 32_768, &mut gen::WeightRng::new(0x5CA1E));
-    let run = gate_check("end_to_end/elkin_random_16384", 15_000, || {
+    let run = gate_check("end_to_end/elkin_random_16384", 12_000, || {
         run_mst(&g, &ElkinConfig::default()).unwrap()
     });
     assert_eq!(run.stats.rounds, 5740, "gate workload rounds moved; re-pin deliberately");
     assert_eq!(run.stats.messages, 3_312_325, "gate workload messages moved; re-pin deliberately");
+    println!("gate: end_to_end wire words {:>27}", run.stats.wire_words);
 
+    match peak_rss_kib() {
+        Some(kib) => println!("gate: peak RSS {:>34} KiB", kib),
+        None => println!("gate: peak RSS unavailable on this platform"),
+    }
     println!("\nwallclock gate ok");
 }
 

@@ -31,7 +31,10 @@
 //! /// A trivial broadcast: node 0 floods a token; everyone halts on receipt.
 //! #[derive(Clone, Debug)]
 //! struct Token;
-//! impl Message for Token {}
+//! impl Message for Token {
+//!     fn encode(&self, out: &mut congest_sim::WireWriter<'_>) { out.word(0) }
+//!     fn decode(r: &mut congest_sim::WireReader<'_>) -> Self { r.word(); Token }
+//! }
 //!
 //! struct Flood { seen: bool, origin: bool }
 //! impl NodeProgram for Flood {
@@ -73,7 +76,7 @@ mod topology;
 
 pub use config::{CapacityMode, RunConfig, UNIT_WORDS};
 pub use error::SimError;
-pub use message::Message;
+pub use message::{Message, WireReader, WireWriter};
 pub use network::{Network, NodeInfo, NodeProgram, RoundCtx};
 pub use stats::{RunStats, TagStats};
 pub use topology::{EdgeId, NodeId, Port, PortId, Topology};

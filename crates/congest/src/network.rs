@@ -1,8 +1,10 @@
 //! The round-driven network executor.
 //!
 //! The executor advances the network in synchronous rounds over flat arena
-//! state indexed by the topology's CSR port numbering: one FIFO ring per
-//! *directed edge* buffers in-flight messages, one stamped accumulator per
+//! state indexed by the topology's CSR port numbering: one `u64` word ring
+//! per *directed edge* buffers in-flight messages in their wire encoding
+//! (no `Msg` values are stored — sends [`Message::encode`] into the ring,
+//! drains [`Message::decode`] back out), one stamped [`EdgeMeter`] per
 //! directed edge meters bandwidth, and per-node stamps track mail,
 //! termination, and stage-tag transitions incrementally. Per-round cost is
 //! proportional to the nodes that act and the messages that move — never to
@@ -13,8 +15,9 @@
 //! [`RunConfig::shards`] `> 1` partitions nodes into contiguous id ranges,
 //! one worker thread per extra shard. Each shard exclusively owns its nodes
 //! and the rings of its *inbound* ports; cross-shard messages travel as
-//! per-round batches over channels and are appended to the destination
-//! rings. Because every ring has exactly one writer (one directed edge, one
+//! per-round *word blocks* over channels — length-framed encoded messages
+//! that delivery routes by header alone and appends to the destination
+//! rings without decoding. Because every ring has exactly one writer (one directed edge, one
 //! sender) and a receiver drains its rings in ascending-neighbor order, each
 //! inbox comes out exactly as the sequential executor builds it — messages
 //! grouped per sender in FIFO blocks, senders in ascending id order — no
@@ -39,7 +42,7 @@ use std::sync::mpsc::{self, Receiver, Sender};
 
 use crate::config::{CapacityMode, RunConfig};
 use crate::error::SimError;
-use crate::message::Message;
+use crate::message::{Message, WireReader, WireWriter};
 use crate::stats::{RunStats, TagStats};
 use crate::topology::{NodeId, Port, PortId, Topology};
 
@@ -170,9 +173,29 @@ impl<'a, M: Message> RoundCtx<'a, M> {
     }
 }
 
-/// Messages crossing a shard boundary in one round: `(destination global
-/// directed port, message)` pairs in sender-step order.
-type Batch<M> = Vec<(u32, M)>;
+/// Messages crossing a shard boundary in one round, already encoded: a
+/// flat word block of `[header, payload...]*` frames in sender-step
+/// order. The header word holds the destination global directed port in
+/// bits `0..32` and the payload length in words in bits `32..64`, so
+/// delivery can route each frame without decoding it.
+type WordBatch = Vec<u64>;
+
+/// Builds one batch frame header (see [`WordBatch`]).
+#[inline]
+fn frame_header(dest_port: u32, len: usize) -> u64 {
+    u64::from(dest_port) | ((len as u64) << 32)
+}
+
+/// Receiver-owned wire buffer for one inbound directed edge: encoded
+/// message words appended in sender FIFO order, decoded back into
+/// messages when the owning node drains its ports. `head` is the read
+/// cursor during a drain; between rounds the ring is empty and `head`
+/// is 0. No `Msg` values are ever stored — the ring *is* the wire.
+#[derive(Default)]
+struct WordRing {
+    words: Vec<u64>,
+    head: usize,
+}
 
 /// Executor knobs shared by every shard, resolved once per run.
 #[derive(Clone, Copy)]
@@ -199,6 +222,7 @@ struct RoundSummary {
 struct ShardTotals {
     messages: u64,
     words: u64,
+    wire_words: u64,
     peak_edge_words: u64,
     by_tag: Vec<(&'static str, TagStats)>,
 }
@@ -209,16 +233,18 @@ enum Decision {
 }
 
 /// Channel ends connecting one shard to every other shard: `to`/`from`
-/// carry round batches, `ret_*` recycle the emptied `Vec`s backwards.
-/// Entry `s` talks to shard `s`; the self entry is `None`.
-struct Links<M> {
-    to: Vec<Option<Sender<Batch<M>>>>,
-    from: Vec<Option<Receiver<Batch<M>>>>,
-    ret_to: Vec<Option<Sender<Batch<M>>>>,
-    ret_from: Vec<Option<Receiver<Batch<M>>>>,
+/// carry round word batches, `ret_*` recycle the emptied `Vec`s
+/// backwards. Entry `s` talks to shard `s`; the self entry is `None`.
+/// Batches are plain `u64` blocks, so the links are independent of the
+/// protocol's message type.
+struct Links {
+    to: Vec<Option<Sender<WordBatch>>>,
+    from: Vec<Option<Receiver<WordBatch>>>,
+    ret_to: Vec<Option<Sender<WordBatch>>>,
+    ret_from: Vec<Option<Receiver<WordBatch>>>,
 }
 
-impl<M> Links<M> {
+impl Links {
     fn empty(num_shards: usize) -> Self {
         Self {
             to: (0..num_shards).map(|_| None).collect(),
@@ -245,13 +271,19 @@ fn bump_census(census: &mut Vec<(&'static str, u64)>, tag: &'static str, up: boo
     }
 }
 
-fn bump_tag_totals(tags: &mut Vec<(&'static str, TagStats)>, tag: &'static str, words: u64) {
+fn bump_tag_totals(
+    tags: &mut Vec<(&'static str, TagStats)>,
+    tag: &'static str,
+    words: u64,
+    wire_words: u64,
+) {
     match tags.binary_search_by(|e| e.0.cmp(tag)) {
         Ok(i) => {
             tags[i].1.messages += 1;
             tags[i].1.words += words;
+            tags[i].1.wire_words += wire_words;
         }
-        Err(i) => tags.insert(i, (tag, TagStats { messages: 1, words })),
+        Err(i) => tags.insert(i, (tag, TagStats { messages: 1, words, wire_words })),
     }
 }
 
@@ -270,10 +302,11 @@ struct Shard<'a, P: NodeProgram> {
     nodes: &'a mut [P],
     topo: &'a Topology,
     cfg: EngineCfg,
-    /// FIFO ring per owned inbound directed port, indexed `g - plo`.
-    rings: Vec<Vec<P::Msg>>,
-    /// `(round stamp, words)` per owned outbound directed port.
-    port_words: Vec<(u64, u64)>,
+    /// Encoded-word FIFO ring per owned inbound directed port, indexed
+    /// `g - plo`.
+    rings: Vec<WordRing>,
+    /// Bandwidth meter per owned outbound directed port.
+    meters: Vec<EdgeMeter>,
     /// Per owned node: round stamp of the last mail delivery.
     mail: Vec<u64>,
     /// Nodes (global ids) with mail in the round being assembled.
@@ -298,8 +331,25 @@ struct Shard<'a, P: NodeProgram> {
     totals: ShardTotals,
     inbox: Vec<(PortId, P::Msg)>,
     outbox: Vec<(PortId, P::Msg)>,
-    /// Outgoing batches per destination shard (self entry delivered locally).
-    out: Vec<Batch<P::Msg>>,
+    /// Outgoing encoded batches per destination shard (self entry
+    /// delivered locally).
+    out: Vec<WordBatch>,
+}
+
+/// Per-round bandwidth accumulator for one outbound directed edge. The
+/// stamp makes resets lazy: a slot is only zeroed when the edge first
+/// sends in a round, so idle edges cost nothing.
+#[derive(Clone, Copy)]
+struct EdgeMeter {
+    /// Round this meter was last charged in (`u64::MAX` = never).
+    round: u64,
+    /// Declared words charged to this edge direction during that round;
+    /// the strict capacity check runs against this accumulator.
+    charged: u64,
+}
+
+impl EdgeMeter {
+    const IDLE: EdgeMeter = EdgeMeter { round: u64::MAX, charged: 0 };
 }
 
 impl<'a, P: NodeProgram> Shard<'a, P> {
@@ -328,8 +378,8 @@ impl<'a, P: NodeProgram> Shard<'a, P> {
             nodes,
             topo,
             cfg,
-            rings: (plo..phi).map(|_| Vec::new()).collect(),
-            port_words: vec![(u64::MAX, 0); phi - plo],
+            rings: (plo..phi).map(|_| WordRing::default()).collect(),
+            meters: vec![EdgeMeter::IDLE; phi - plo],
             mail: vec![u64::MAX; count],
             touched: Vec::new(),
             actives: Vec::new(),
@@ -348,20 +398,27 @@ impl<'a, P: NodeProgram> Shard<'a, P> {
         }
     }
 
-    /// Appends a batch of inbound messages (for the round about to execute)
-    /// to the destination rings, marking receivers as mailed.
-    fn deliver(&mut self, round: u64, batch: &mut Batch<P::Msg>) {
-        for (g, msg) in batch.drain(..) {
-            let g = g as usize;
+    /// Appends a batch of inbound encoded frames (for the round about to
+    /// execute) to the destination rings, marking receivers as mailed.
+    /// Frames are routed by header word alone — payloads are copied into
+    /// the rings without decoding. The batch is emptied for recycling.
+    fn deliver(&mut self, round: u64, batch: &mut WordBatch) {
+        let mut i = 0;
+        while i < batch.len() {
+            let header = batch[i];
+            let g = (header & 0xFFFF_FFFF) as usize;
+            let len = (header >> 32) as usize;
             let v = self.topo.port_node(g);
             let ni = v - self.lo;
             if self.mail[ni] != round {
                 self.mail[ni] = round;
                 self.touched.push(v);
             }
-            // dmst-analysis:allow(panic-hygiene) -- g >= plo by shard ownership; checked by ring-range debug asserts
-            self.rings[g - self.plo].push(msg);
+            // dmst-analysis:allow(panic-hygiene) -- g >= plo by shard ownership; frame bounds produced by our own send path
+            self.rings[g - self.plo].words.extend_from_slice(&batch[i + 1..i + 1 + len]);
+            i += 1 + len;
         }
+        batch.clear();
     }
 
     /// Executes one round over this shard's active set.
@@ -391,9 +448,19 @@ impl<'a, P: NodeProgram> Shard<'a, P> {
                 for &p in self.topo.drain_order(v) {
                     // dmst-analysis:allow(panic-hygiene) -- port base of an owned node; in range by construction
                     let ring = &mut self.rings[base + p as usize - self.plo];
-                    if !ring.is_empty() {
-                        self.inbox.extend(ring.drain(..).map(|m| (p as PortId, m)));
+                    debug_assert_eq!(ring.head, 0, "ring left mid-drain");
+                    while ring.head < ring.words.len() {
+                        let used;
+                        {
+                            let mut r = WireReader::new(&ring.words[ring.head..]);
+                            self.inbox.push((p as PortId, P::Msg::decode(&mut r)));
+                            debug_assert!(r.consumed() >= 1, "decode consumed no words");
+                            used = r.consumed().max(1);
+                        }
+                        ring.head += used;
                     }
+                    ring.words.clear();
+                    ring.head = 0;
                 }
             }
             self.outbox.clear();
@@ -416,30 +483,57 @@ impl<'a, P: NodeProgram> Shard<'a, P> {
                 );
                 let words = u64::from(msg.words().max(1));
                 // dmst-analysis:allow(panic-hygiene) -- sender-side port of an owned node; in range by construction
-                let slot = &mut self.port_words[g - self.plo];
-                if slot.0 != round {
-                    *slot = (round, 0);
+                let slot = &mut self.meters[g - self.plo];
+                if slot.round != round {
+                    *slot = EdgeMeter { round, charged: 0 };
                 }
-                slot.1 += words;
-                if self.cfg.strict && slot.1 > self.cfg.capacity {
+                slot.charged += words;
+                if self.cfg.strict && slot.charged > self.cfg.capacity {
                     error = Some(SimError::CapacityExceeded {
                         round,
                         from: v,
                         to: (self.topo.route(g) >> 32) as NodeId,
-                        words: slot.1,
+                        words: slot.charged,
                         capacity: self.cfg.capacity,
                     });
                     break 'step;
                 }
-                self.totals.peak_edge_words = self.totals.peak_edge_words.max(slot.1);
-                bump_tag_totals(&mut self.totals.by_tag, msg.tag(), words);
-                self.totals.messages += 1;
-                self.totals.words += words;
-                round_messages += 1;
+                self.totals.peak_edge_words = self.totals.peak_edge_words.max(slot.charged);
 
+                // Encode straight into the destination batch, behind a
+                // placeholder header patched once the length is known.
                 let dest = self.topo.peer(g);
                 let dest_shard = self.topo.port_node(dest) / self.cfg.chunk;
-                self.out[dest_shard].push((dest as u32, msg));
+                let batch = &mut self.out[dest_shard];
+                let header = batch.len();
+                batch.push(0);
+                let mut wire = {
+                    let mut w = WireWriter::new(batch);
+                    msg.encode(&mut w);
+                    w.len()
+                };
+                if wire == 0 {
+                    // Mirror of the words() >= 1 clamp: a release-mode
+                    // encoder that wrote nothing still ships one pad word,
+                    // so the ring never desyncs.
+                    batch.push(0);
+                    wire = 1;
+                }
+                debug_assert_eq!(
+                    wire as u64,
+                    words,
+                    "Message::encode wrote {wire} words but words() declared {words} \
+                     for tag {:?} (node {v}, round {round}); the encoded length contract \
+                     is exact — see congest::Message::words",
+                    msg.tag(),
+                );
+                batch[header] = frame_header(dest as u32, wire);
+
+                bump_tag_totals(&mut self.totals.by_tag, msg.tag(), words, wire as u64);
+                self.totals.messages += 1;
+                self.totals.words += words;
+                self.totals.wire_words += wire as u64;
+                round_messages += 1;
             }
 
             let node = &self.nodes[ni];
@@ -493,7 +587,7 @@ impl<'a, P: NodeProgram> Shard<'a, P> {
 /// executed round (no peer has sent anything yet).
 fn shard_round<P: NodeProgram>(
     shard: &mut Shard<'_, P>,
-    links: &Links<P::Msg>,
+    links: &Links,
     round: u64,
     primed: bool,
 ) -> RoundSummary {
@@ -529,7 +623,7 @@ fn shard_round<P: NodeProgram>(
 
 fn worker_loop<P: NodeProgram>(
     mut shard: Shard<'_, P>,
-    links: Links<P::Msg>,
+    links: Links,
     decisions: Receiver<Decision>,
     summaries: Sender<RoundSummary>,
     totals: Sender<ShardTotals>,
@@ -630,8 +724,7 @@ impl<P: NodeProgram> Network<P> {
         // Cross-shard plumbing: batch + recycle channels per ordered pair,
         // decision/summary/totals channels per worker. With one shard the
         // links stay empty and no thread is spawned.
-        let mut links: Vec<Links<P::Msg>> =
-            (0..num_shards).map(|_| Links::empty(num_shards)).collect();
+        let mut links: Vec<Links> = (0..num_shards).map(|_| Links::empty(num_shards)).collect();
         for a in 0..num_shards {
             for b in 0..num_shards {
                 if a == b {
@@ -751,11 +844,13 @@ impl<P: NodeProgram> Network<P> {
                 for t in all_totals {
                     stats.messages += t.messages;
                     stats.words += t.words;
+                    stats.wire_words += t.wire_words;
                     stats.peak_edge_words = stats.peak_edge_words.max(t.peak_edge_words);
                     for (tag, ts) in t.by_tag {
                         let entry = stats.by_tag.entry(tag).or_default();
                         entry.messages += ts.messages;
                         entry.words += ts.words;
+                        entry.wire_words += ts.wire_words;
                     }
                 }
                 stats.rounds = round;
@@ -805,6 +900,7 @@ mod tests {
         let stats = net.run(&RunConfig::congest()).unwrap();
         assert_eq!(stats.messages, 1);
         assert_eq!(stats.words, 1);
+        assert_eq!(stats.wire_words, 1);
         // Round 0: node 0 sends. Round 1: node 1 receives; quiescent after.
         assert_eq!(stats.rounds, 2);
         assert_eq!(net.nodes()[1].seen, 1);

@@ -15,7 +15,15 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 struct Ping;
-impl Message for Ping {}
+impl Message for Ping {
+    fn encode(&self, out: &mut congest_sim::WireWriter<'_>) {
+        out.word(0);
+    }
+    fn decode(r: &mut congest_sim::WireReader<'_>) -> Self {
+        r.word();
+        Ping
+    }
+}
 
 /// Walks through a per-node timetable of stage tags; sends one initial
 /// flood so there is message traffic, and stays alive until `done_at`.
@@ -142,6 +150,14 @@ struct Weightless;
 impl Message for Weightless {
     fn words(&self) -> u32 {
         0 // violates the documented `words() >= 1` contract
+    }
+    // One physical word, matching the release-mode clamped charge.
+    fn encode(&self, out: &mut congest_sim::WireWriter<'_>) {
+        out.word(0);
+    }
+    fn decode(r: &mut congest_sim::WireReader<'_>) -> Self {
+        r.word();
+        Weightless
     }
 }
 

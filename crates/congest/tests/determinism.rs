@@ -33,6 +33,24 @@ impl Message for Token {
             "odd"
         }
     }
+    // A deliberately variable-width encoding: origin and hops share word 0
+    // (origins here are node ids, far below 2^32), and `origin % 3` zero
+    // pad words make the physical length match `words()` exactly.
+    fn encode(&self, out: &mut congest_sim::WireWriter<'_>) {
+        debug_assert!(self.origin < u64::from(u32::MAX));
+        out.word(self.origin | (u64::from(self.hops) << 32));
+        for _ in 0..self.origin % 3 {
+            out.word(0);
+        }
+    }
+    fn decode(r: &mut congest_sim::WireReader<'_>) -> Self {
+        let w0 = r.word();
+        let origin = w0 & 0xFFFF_FFFF;
+        for _ in 0..origin % 3 {
+            r.word();
+        }
+        Token { origin, hops: (w0 >> 32) as u32 }
+    }
 }
 
 /// Staggered gossip: node `v` sleeps until round `3 * (v mod 5)` (a wake

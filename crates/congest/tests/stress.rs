@@ -8,7 +8,14 @@ use proptest::prelude::*;
 /// Message carrying a sequence number, for FIFO checks.
 #[derive(Clone, Debug)]
 struct Seq(u32);
-impl Message for Seq {}
+impl Message for Seq {
+    fn encode(&self, out: &mut congest_sim::WireWriter<'_>) {
+        out.word(u64::from(self.0));
+    }
+    fn decode(r: &mut congest_sim::WireReader<'_>) -> Self {
+        Seq(r.word() as u32)
+    }
+}
 
 /// Node 0 sends `count` numbered messages over several rounds; node 1
 /// checks they arrive in order.

@@ -54,6 +54,33 @@ impl Message for LeadMsg {
             LeadMsg::Elected { .. } => "lead:elected",
         }
     }
+
+    fn encode(&self, w: &mut congest_sim::WireWriter<'_>) {
+        // All three carry one vertex id, which packs into the tag word.
+        match self {
+            LeadMsg::Propose { id } => {
+                w.tag(0);
+                w.pack(*id);
+            }
+            LeadMsg::Ack { id } => {
+                w.tag(1);
+                w.pack(*id);
+            }
+            LeadMsg::Elected { id } => {
+                w.tag(2);
+                w.pack(*id);
+            }
+        }
+    }
+
+    fn decode(r: &mut congest_sim::WireReader<'_>) -> Self {
+        match r.tag() {
+            0 => LeadMsg::Propose { id: r.packed() },
+            1 => LeadMsg::Ack { id: r.packed() },
+            2 => LeadMsg::Elected { id: r.packed() },
+            other => unreachable!("unknown LeadMsg wire tag {other}"),
+        }
+    }
 }
 
 /// Per-vertex election state machine.

@@ -4,10 +4,75 @@
 //! `O(log n)`-bit quantity (vertex id, fragment id, edge weight, small
 //! counter). The largest message ([`Msg::Candidate`]) carries 6 words, under
 //! the 8-word unit-message budget enforced by the simulator.
+//!
+//! Since the wire-format refactor these are not just *declared* sizes:
+//! every variant has an exact [`Message::encode`]/[`Message::decode`] pair
+//! (see the `TAG_*` discriminants below), the simulator ships the encoded
+//! words through its rings, and `words()` is pinned to the encoded length
+//! by a send-path `debug_assert` plus the `wire_roundtrip` proptests.
+//! Quantities bounded by the vertex count (ids, slots, colors, phases —
+//! `Topology` caps `n` at `u32::MAX`) ride in the tag word's packed half;
+//! only full-range edge weights always occupy whole words.
 
-use congest_sim::Message;
+use congest_sim::{Message, WireReader, WireWriter};
 
 use crate::candidate::{CandKey, Candidate};
+
+// Wire discriminants, one per variant, in declaration order. `decode`
+// matches on these; a tag outside the table is a wire-corruption bug.
+const TAG_BFS: u8 = 0;
+const TAG_BFS_CHILD: u8 = 1;
+const TAG_SIZE_UP: u8 = 2;
+const TAG_PARAMS: u8 = 3;
+const TAG_FRAG_ANNOUNCE: u8 = 4;
+const TAG_PROBE: u8 = 5;
+const TAG_MWOE_UP: u8 = 6;
+const TAG_PARTICIPATE: u8 = 7;
+const TAG_MWOE_PATH: u8 = 8;
+const TAG_CONNECT_REQ: u8 = 9;
+const TAG_KIDS_UP: u8 = 10;
+const TAG_COLOR_DOWN: u8 = 11;
+const TAG_COLOR_CROSS: u8 = 12;
+const TAG_COLOR_UP: u8 = 13;
+const TAG_UNMATCHED_UP: u8 = 14;
+const TAG_ACCEPT_PATH: u8 = 15;
+const TAG_ACCEPT_CROSS: u8 = 16;
+const TAG_MATCHED_UP: u8 = 17;
+const TAG_STATUS_DOWN: u8 = 18;
+const TAG_STATUS_CROSS: u8 = 19;
+const TAG_MERGE_PATH: u8 = 20;
+const TAG_MERGE_CROSS: u8 = 21;
+const TAG_NEW_FRAG: u8 = 22;
+const TAG_FLOOD_ACK: u8 = 23;
+const TAG_SYNC_NO_FLOOD: u8 = 24;
+const TAG_SYNC_UP: u8 = 25;
+const TAG_SYNC_START: u8 = 26;
+const TAG_INTERVAL: u8 = 27;
+const TAG_REGISTER: u8 = 28;
+const TAG_REG_DONE: u8 = 29;
+const TAG_INIT_COARSE: u8 = 30;
+const TAG_COARSE_ANNOUNCE: u8 = 31;
+const TAG_FRAG_MWOE_UP: u8 = 32;
+const TAG_CANDIDATE: u8 = 33;
+const TAG_UP_DONE: u8 = 34;
+const TAG_ASSIGN: u8 = 35;
+const TAG_NEW_COARSE: u8 = 36;
+const TAG_MARK_PATH: u8 = 37;
+const TAG_MARK_CROSS: u8 = 38;
+
+/// Writes a [`CandKey`] as three full words (the weight needs all 64
+/// bits; the endpoints get whole words so the key stays one fixed shape
+/// everywhere it is embedded).
+fn encode_key(w: &mut WireWriter<'_>, k: &CandKey) {
+    w.word(k.weight);
+    w.word(k.lo);
+    w.word(k.hi);
+}
+
+/// Mirror of [`encode_key`].
+fn decode_key(r: &mut WireReader<'_>) -> CandKey {
+    CandKey { weight: r.word(), lo: r.word(), hi: r.word() }
+}
 
 /// Protocol messages, grouped by stage. The stage/phase a message belongs to
 /// is implicit in the (synchronized) round schedule for Stage B and in the
@@ -318,6 +383,224 @@ impl Message for Msg {
             Msg::Candidate { .. } | Msg::UpDone => "d:upcast",
             Msg::Assign { .. } => "d:downcast",
             Msg::NewCoarse { .. } | Msg::MarkPath | Msg::MarkCross => "d:newcoarse",
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Msg::Bfs => w.tag(TAG_BFS),
+            Msg::BfsChild => w.tag(TAG_BFS_CHILD),
+            Msg::SizeUp { size, height } => {
+                w.tag(TAG_SIZE_UP);
+                w.pack(*size); // subtree size <= n
+                w.word(*height);
+            }
+            Msg::Params { n, h, k, t0 } => {
+                w.tag(TAG_PARAMS);
+                w.pack(*n);
+                w.word(*h);
+                w.word(*k);
+                w.word(*t0);
+            }
+            Msg::FragAnnounce { frag, me } => {
+                w.tag(TAG_FRAG_ANNOUNCE);
+                w.pack(*frag); // fragment ids are vertex ids
+                w.word(*me);
+            }
+            Msg::Probe { ttl } => {
+                w.tag(TAG_PROBE);
+                w.pack(u64::from(*ttl));
+            }
+            Msg::MwoeUp { cand, overflow } => {
+                w.tag(TAG_MWOE_UP);
+                w.flag(0, cand.is_some());
+                w.flag(1, *overflow);
+                encode_key(w, &cand.unwrap_or(CandKey { weight: 0, lo: 0, hi: 0 }));
+            }
+            Msg::Participate => w.tag(TAG_PARTICIPATE),
+            Msg::MwoePath => w.tag(TAG_MWOE_PATH),
+            Msg::ConnectReq { child_frag } => {
+                w.tag(TAG_CONNECT_REQ);
+                w.pack(*child_frag);
+            }
+            Msg::KidsUp { has } => {
+                w.tag(TAG_KIDS_UP);
+                w.flag(0, *has);
+            }
+            Msg::ColorDown { color } => {
+                w.tag(TAG_COLOR_DOWN);
+                w.pack(*color);
+            }
+            Msg::ColorCross { color } => {
+                w.tag(TAG_COLOR_CROSS);
+                w.pack(*color);
+            }
+            Msg::ColorUp { color } => {
+                w.tag(TAG_COLOR_UP);
+                w.pack(*color);
+            }
+            Msg::UnmatchedUp { child } => {
+                w.tag(TAG_UNMATCHED_UP);
+                w.flag(0, child.is_some());
+                w.pack(child.unwrap_or(0)); // child fragment id < n
+            }
+            Msg::AcceptPath => w.tag(TAG_ACCEPT_PATH),
+            Msg::AcceptCross { parent_frag } => {
+                w.tag(TAG_ACCEPT_CROSS);
+                w.pack(*parent_frag);
+            }
+            Msg::MatchedUp { partner } => {
+                w.tag(TAG_MATCHED_UP);
+                w.pack(*partner);
+            }
+            Msg::StatusDown => w.tag(TAG_STATUS_DOWN),
+            Msg::StatusCross => w.tag(TAG_STATUS_CROSS),
+            Msg::MergePath => w.tag(TAG_MERGE_PATH),
+            Msg::MergeCross => w.tag(TAG_MERGE_CROSS),
+            Msg::NewFrag { id } => {
+                w.tag(TAG_NEW_FRAG);
+                w.pack(*id);
+            }
+            Msg::FloodAck { phase } => {
+                w.tag(TAG_FLOOD_ACK);
+                w.word(u64::from(*phase));
+            }
+            Msg::SyncNoFlood { phase } => {
+                w.tag(TAG_SYNC_NO_FLOOD);
+                w.word(u64::from(*phase));
+            }
+            Msg::SyncUp { phase } => {
+                w.tag(TAG_SYNC_UP);
+                w.word(u64::from(*phase));
+            }
+            Msg::SyncStart { phase, start } => {
+                w.tag(TAG_SYNC_START);
+                w.word(u64::from(*phase));
+                w.word(*start);
+            }
+            Msg::Interval { start, size } => {
+                w.tag(TAG_INTERVAL);
+                w.pack(*start); // slots are < n
+                w.word(*size);
+            }
+            Msg::Register { slot } => {
+                w.tag(TAG_REGISTER);
+                w.pack(*slot);
+            }
+            Msg::RegDone => w.tag(TAG_REG_DONE),
+            Msg::InitCoarse { id } => {
+                w.tag(TAG_INIT_COARSE);
+                w.pack(*id);
+            }
+            Msg::CoarseAnnounce { coarse, me } => {
+                w.tag(TAG_COARSE_ANNOUNCE);
+                w.pack(*coarse); // coarse ids are interval slots < n
+                w.word(*me);
+            }
+            Msg::FragMwoeUp { cand } => {
+                w.tag(TAG_FRAG_MWOE_UP);
+                w.flag(0, cand.is_some());
+                let (key, src, dst) = cand.unwrap_or((CandKey { weight: 0, lo: 0, hi: 0 }, 0, 0));
+                w.pack(src);
+                encode_key(w, &key);
+                w.word(dst);
+            }
+            Msg::Candidate { rec } => {
+                w.tag(TAG_CANDIDATE);
+                w.pack(rec.src_slot);
+                encode_key(w, &rec.key);
+                w.word(rec.src_coarse);
+                w.word(rec.dst_coarse);
+            }
+            Msg::UpDone => w.tag(TAG_UP_DONE),
+            Msg::Assign { dest_slot, new_coarse, chosen, done, next } => {
+                w.tag(TAG_ASSIGN);
+                w.flag(0, *chosen);
+                w.flag(1, *done);
+                w.word(*dest_slot);
+                w.word(*new_coarse);
+                w.word(*next);
+            }
+            Msg::NewCoarse { id, done, next } => {
+                w.tag(TAG_NEW_COARSE);
+                w.flag(0, *done);
+                w.word(*id);
+                w.word(*next);
+            }
+            Msg::MarkPath => w.tag(TAG_MARK_PATH),
+            Msg::MarkCross => w.tag(TAG_MARK_CROSS),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.tag() {
+            TAG_BFS => Msg::Bfs,
+            TAG_BFS_CHILD => Msg::BfsChild,
+            TAG_SIZE_UP => Msg::SizeUp { size: r.packed(), height: r.word() },
+            TAG_PARAMS => Msg::Params { n: r.packed(), h: r.word(), k: r.word(), t0: r.word() },
+            TAG_FRAG_ANNOUNCE => Msg::FragAnnounce { frag: r.packed(), me: r.word() },
+            TAG_PROBE => Msg::Probe { ttl: r.packed() as u32 },
+            TAG_MWOE_UP => {
+                let some = r.flag(0);
+                let overflow = r.flag(1);
+                let key = decode_key(r);
+                Msg::MwoeUp { cand: some.then_some(key), overflow }
+            }
+            TAG_PARTICIPATE => Msg::Participate,
+            TAG_MWOE_PATH => Msg::MwoePath,
+            TAG_CONNECT_REQ => Msg::ConnectReq { child_frag: r.packed() },
+            TAG_KIDS_UP => Msg::KidsUp { has: r.flag(0) },
+            TAG_COLOR_DOWN => Msg::ColorDown { color: r.packed() },
+            TAG_COLOR_CROSS => Msg::ColorCross { color: r.packed() },
+            TAG_COLOR_UP => Msg::ColorUp { color: r.packed() },
+            TAG_UNMATCHED_UP => Msg::UnmatchedUp { child: r.flag(0).then_some(r.packed()) },
+            TAG_ACCEPT_PATH => Msg::AcceptPath,
+            TAG_ACCEPT_CROSS => Msg::AcceptCross { parent_frag: r.packed() },
+            TAG_MATCHED_UP => Msg::MatchedUp { partner: r.packed() },
+            TAG_STATUS_DOWN => Msg::StatusDown,
+            TAG_STATUS_CROSS => Msg::StatusCross,
+            TAG_MERGE_PATH => Msg::MergePath,
+            TAG_MERGE_CROSS => Msg::MergeCross,
+            TAG_NEW_FRAG => Msg::NewFrag { id: r.packed() },
+            TAG_FLOOD_ACK => Msg::FloodAck { phase: r.word() as u32 },
+            TAG_SYNC_NO_FLOOD => Msg::SyncNoFlood { phase: r.word() as u32 },
+            TAG_SYNC_UP => Msg::SyncUp { phase: r.word() as u32 },
+            TAG_SYNC_START => Msg::SyncStart { phase: r.word() as u32, start: r.word() },
+            TAG_INTERVAL => Msg::Interval { start: r.packed(), size: r.word() },
+            TAG_REGISTER => Msg::Register { slot: r.packed() },
+            TAG_REG_DONE => Msg::RegDone,
+            TAG_INIT_COARSE => Msg::InitCoarse { id: r.packed() },
+            TAG_COARSE_ANNOUNCE => Msg::CoarseAnnounce { coarse: r.packed(), me: r.word() },
+            TAG_FRAG_MWOE_UP => {
+                let some = r.flag(0);
+                let src = r.packed();
+                let key = decode_key(r);
+                let dst = r.word();
+                Msg::FragMwoeUp { cand: some.then_some((key, src, dst)) }
+            }
+            TAG_CANDIDATE => {
+                let src_slot = r.packed();
+                let key = decode_key(r);
+                Msg::Candidate {
+                    rec: Candidate { key, src_coarse: r.word(), dst_coarse: r.word(), src_slot },
+                }
+            }
+            TAG_UP_DONE => Msg::UpDone,
+            TAG_ASSIGN => {
+                let chosen = r.flag(0);
+                let done = r.flag(1);
+                Msg::Assign {
+                    dest_slot: r.word(),
+                    new_coarse: r.word(),
+                    chosen,
+                    done,
+                    next: r.word(),
+                }
+            }
+            TAG_NEW_COARSE => Msg::NewCoarse { id: r.word(), done: r.flag(0), next: r.word() },
+            TAG_MARK_PATH => Msg::MarkPath,
+            TAG_MARK_CROSS => Msg::MarkCross,
+            other => unreachable!("unknown Msg wire tag {other}"),
         }
     }
 }

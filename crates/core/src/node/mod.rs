@@ -37,6 +37,177 @@ use crate::schedule::{Params, Schedule};
 /// Marker for "unknown neighbor data" in port-indexed tables.
 pub(crate) const UNKNOWN: u64 = u64::MAX;
 
+/// Lane indices into a [`PortArena`]. The arena is lane-major: lane `L`
+/// occupies `buf[L * deg .. (L + 1) * deg]`, so the stage loops that scan
+/// one attribute across every port (the MWOE scans) walk contiguous memory.
+mod lane {
+    /// Incident edge weight (immutable after construction).
+    pub const WEIGHT: usize = 0;
+    /// Neighbor vertex id learned from announces (`UNKNOWN` until heard).
+    pub const NBR_ID: usize = 1;
+    /// Neighbor base-fragment id (`UNKNOWN` until announced, stage B).
+    pub const NBR_FRAG: usize = 2;
+    /// Neighbor coarse id for the current Borůvka phase.
+    pub const NBR_COARSE: usize = 3;
+    /// Neighbor coarse id announced one phase early (fused-phase skew).
+    pub const NBR_COARSE_NEXT: usize = 4;
+    /// Total `CoarseAnnounce`s received on this port (its value *is* the
+    /// phase of the next announce, by the once-per-phase send discipline).
+    pub const ANN_COUNT: usize = 5;
+    /// Total `UpDone`s received on this port.
+    pub const UPDONE_COUNT: usize = 6;
+    /// 1 if the incident edge has been marked an MST edge, else 0.
+    pub const MST: usize = 7;
+    /// Round of the last send-ledger charge (`u64::MAX` = never charged).
+    pub const LEDGER_ROUND: usize = 8;
+    /// Words already charged on this port during `LEDGER_ROUND`.
+    pub const LEDGER_WORDS: usize = 9;
+    /// Number of lanes.
+    pub const COUNT: usize = 10;
+}
+
+/// Struct-of-arrays per-port state: every port-indexed attribute of an
+/// [`ElkinNode`] packed into one `Box<[u64]>` (lane-major, see [`lane`]).
+/// Replaces what used to be nine parallel `Vec`s — one allocation per node
+/// instead of nine, and each hot per-port scan stays contiguous.
+///
+/// Booleans are stored as 0/1 and the per-port send ledger as a
+/// `(round, words)` lane pair; the typed accessors do the narrowing.
+#[derive(Clone, Debug)]
+pub(crate) struct PortArena {
+    deg: usize,
+    buf: Box<[u64]>,
+}
+
+impl PortArena {
+    /// Builds the arena for a vertex of degree `deg`; `weights` yields the
+    /// incident edge weights in port order.
+    pub(crate) fn new(deg: usize, weights: impl Iterator<Item = u64>) -> Self {
+        let mut buf = vec![0u64; lane::COUNT * deg].into_boxed_slice();
+        for (q, w) in weights.enumerate() {
+            buf[lane::WEIGHT * deg + q] = w;
+        }
+        for l in [lane::NBR_ID, lane::NBR_FRAG, lane::NBR_COARSE, lane::NBR_COARSE_NEXT] {
+            buf[l * deg..(l + 1) * deg].fill(UNKNOWN);
+        }
+        buf[lane::LEDGER_ROUND * deg..(lane::LEDGER_ROUND + 1) * deg].fill(u64::MAX);
+        Self { deg, buf }
+    }
+
+    #[inline]
+    fn get(&self, l: usize, q: usize) -> u64 {
+        self.buf[l * self.deg + q]
+    }
+
+    #[inline]
+    fn set(&mut self, l: usize, q: usize, v: u64) {
+        self.buf[l * self.deg + q] = v;
+    }
+
+    /// Weight of the edge behind port `q`.
+    #[inline]
+    pub(crate) fn weight(&self, q: usize) -> u64 {
+        self.get(lane::WEIGHT, q)
+    }
+
+    /// Neighbor vertex id behind port `q` (`UNKNOWN` until announced).
+    #[inline]
+    pub(crate) fn nbr_id(&self, q: usize) -> u64 {
+        self.get(lane::NBR_ID, q)
+    }
+
+    #[inline]
+    pub(crate) fn set_nbr_id(&mut self, q: usize, v: u64) {
+        self.set(lane::NBR_ID, q, v);
+    }
+
+    /// Neighbor base-fragment id behind port `q`.
+    #[inline]
+    pub(crate) fn nbr_frag(&self, q: usize) -> u64 {
+        self.get(lane::NBR_FRAG, q)
+    }
+
+    #[inline]
+    pub(crate) fn set_nbr_frag(&mut self, q: usize, v: u64) {
+        self.set(lane::NBR_FRAG, q, v);
+    }
+
+    /// Neighbor coarse id for the current phase.
+    #[inline]
+    pub(crate) fn nbr_coarse(&self, q: usize) -> u64 {
+        self.get(lane::NBR_COARSE, q)
+    }
+
+    #[inline]
+    pub(crate) fn set_nbr_coarse(&mut self, q: usize, v: u64) {
+        self.set(lane::NBR_COARSE, q, v);
+    }
+
+    /// Neighbor coarse id announced one phase early (`UNKNOWN` if none).
+    #[inline]
+    pub(crate) fn nbr_coarse_next(&self, q: usize) -> u64 {
+        self.get(lane::NBR_COARSE_NEXT, q)
+    }
+
+    #[inline]
+    pub(crate) fn set_nbr_coarse_next(&mut self, q: usize, v: u64) {
+        self.set(lane::NBR_COARSE_NEXT, q, v);
+    }
+
+    /// Consumes one `CoarseAnnounce` on port `q`: returns the phase it
+    /// belongs to (the pre-increment count) and advances the count.
+    #[inline]
+    pub(crate) fn bump_ann_count(&mut self, q: usize) -> u64 {
+        let ph = self.get(lane::ANN_COUNT, q);
+        self.set(lane::ANN_COUNT, q, ph + 1);
+        ph
+    }
+
+    /// Phase that `Candidate`s arriving on port `q` belong to (the number
+    /// of `UpDone`s seen on it).
+    #[inline]
+    pub(crate) fn updone_count(&self, q: usize) -> u64 {
+        self.get(lane::UPDONE_COUNT, q)
+    }
+
+    /// Consumes one `UpDone` on port `q`: returns its phase (the
+    /// pre-increment count) and advances the count.
+    #[inline]
+    pub(crate) fn bump_updone_count(&mut self, q: usize) -> u64 {
+        let ph = self.get(lane::UPDONE_COUNT, q);
+        self.set(lane::UPDONE_COUNT, q, ph + 1);
+        ph
+    }
+
+    /// Whether the edge behind port `q` is marked as an MST edge.
+    #[inline]
+    pub(crate) fn mst(&self, q: usize) -> bool {
+        self.get(lane::MST, q) != 0
+    }
+
+    /// Marks the edge behind port `q` as an MST edge.
+    #[inline]
+    pub(crate) fn mark_mst(&mut self, q: usize) {
+        self.set(lane::MST, q, 1);
+    }
+
+    /// The `(round, words charged)` send ledger of port `q`.
+    #[inline]
+    pub(crate) fn ledger(&self, q: usize) -> (u64, u64) {
+        (self.get(lane::LEDGER_ROUND, q), self.get(lane::LEDGER_WORDS, q))
+    }
+
+    /// Charges `words` against port `q` for `round`, resetting the ledger
+    /// if the round moved on since the last charge.
+    #[inline]
+    pub(crate) fn charge_ledger(&mut self, q: usize, round: u64, words: u64) {
+        let (r, used) = self.ledger(q);
+        let used = if r == round { used } else { 0 };
+        self.set(lane::LEDGER_ROUND, q, round);
+        self.set(lane::LEDGER_WORDS, q, used + words);
+    }
+}
+
 /// Which direction a subtree minimum came from during an argmin
 /// convergecast (the downcast retraces these selections).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -177,8 +348,14 @@ pub struct ElkinNode {
     // Immutable identity.
     pub(crate) id: u64,
     pub(crate) deg: usize,
-    pub(crate) weights: Vec<u64>,
     pub(crate) cfg: ElkinConfig,
+
+    /// All port-indexed state — weights, neighbor knowledge, announce and
+    /// `UpDone` counts, MST marks, and the per-port `(round, words)` send
+    /// ledger (control messages record their usage so pipelines can spend
+    /// what is left of the per-edge budget without oversubscribing a
+    /// shared fragment-tree/BFS-tree edge) — in one lane-major allocation.
+    pub(crate) ports: PortArena,
 
     // Stage progression.
     pub(crate) stage: Stage,
@@ -205,18 +382,10 @@ pub struct ElkinNode {
     pub(crate) bfs_children: Vec<PortId>,
     pub(crate) child_sizes: Vec<u64>,
 
-    // Port-indexed neighbor knowledge (learned from announces).
-    pub(crate) nbr_id: Vec<u64>,
-    pub(crate) nbr_frag: Vec<u64>,
-    pub(crate) nbr_coarse: Vec<u64>,
-
     // Fragment membership (evolves through stage B; fixed in C/D).
     pub(crate) frag_id: u64,
     pub(crate) frag_parent: Option<PortId>,
     pub(crate) frag_children: Vec<PortId>,
-
-    // Output: which incident edges are MST edges.
-    pub(crate) mst: Vec<bool>,
 
     pub(crate) b: BScratch,
 
@@ -234,17 +403,9 @@ pub struct ElkinNode {
     // Fused-phase skew buffers (survive the per-phase scratch roll).
     // Per-edge FIFO delivery plus once-per-phase send discipline let the
     // receiver infer the phase of `CoarseAnnounce`/`Candidate`/`UpDone`
-    // from cumulative per-port counts; anything one phase ahead of the
-    // local scratch parks here until `cd_roll_phase`.
-    /// Per port: total `CoarseAnnounce`s received (the next one from that
-    /// port is for phase `ann_count[q]`).
-    pub(crate) ann_count: Vec<u64>,
-    /// Per port: total `UpDone`s received (candidates arriving from that
-    /// port belong to phase `updone_count[q]`).
-    pub(crate) updone_count: Vec<u64>,
-    /// Per port: coarse id announced for phase `d.phase + 1` (UNKNOWN if
-    /// not yet received).
-    pub(crate) nbr_coarse_next: Vec<u64>,
+    // from the cumulative per-port counts in `ports` (the `ANN_COUNT` /
+    // `UPDONE_COUNT` / `NBR_COARSE_NEXT` lanes); anything one phase ahead
+    // of the local scratch parks here until `cd_roll_phase`.
     /// Number of phase-`d.phase + 1` announcements already received.
     pub(crate) ann_recv_next: usize,
     /// `UpDone`s of phase `d.phase + 1` already received from BFS children.
@@ -255,10 +416,6 @@ pub struct ElkinNode {
     /// `bfs_children`).
     pub(crate) down: Vec<VecDeque<Msg>>,
     pub(crate) root: Option<Box<RootState>>,
-    /// Per-port `(round, words already sent)` ledger: control messages
-    /// record their usage, pipelines spend what is left of the per-edge
-    /// budget, so a shared fragment-tree/BFS-tree edge never oversubscribes.
-    pub(crate) ledger: Vec<(u64, u32)>,
     /// Milestone rounds: when this vertex entered Stage B, Stage C/D, the
     /// first Borůvka phase, and the finished state (for stage profiling).
     pub(crate) milestones: Milestones,
@@ -308,7 +465,7 @@ impl ElkinNode {
         Self {
             id: info.id as u64,
             deg,
-            weights: info.ports.iter().map(|p| p.weight).collect(),
+            ports: PortArena::new(deg, info.ports.iter().map(|p| p.weight)),
             cfg,
             stage: Stage::A,
             finished: false,
@@ -323,13 +480,9 @@ impl ElkinNode {
             bfs_parent: None,
             bfs_children: Vec::new(),
             child_sizes: Vec::new(),
-            nbr_id: vec![UNKNOWN; deg],
-            nbr_frag: vec![UNKNOWN; deg],
-            nbr_coarse: vec![UNKNOWN; deg],
             frag_id: info.id as u64,
             frag_parent: None,
             frag_children: Vec::new(),
-            mst: vec![false; deg],
             b: BScratch::default(),
             slot: 0,
             child_ivs: Vec::new(),
@@ -337,15 +490,11 @@ impl ElkinNode {
             coarse_ready: None,
             c: CState::default(),
             d: DScratch::default(),
-            ann_count: vec![0; deg],
-            updone_count: vec![0; deg],
-            nbr_coarse_next: vec![UNKNOWN; deg],
             ann_recv_next: 0,
             updone_next: 0,
             cand_next: Vec::new(),
             down: Vec::new(),
             root: None,
-            ledger: vec![(u64::MAX, 0); deg],
             milestones: Milestones::default(),
         }
     }
@@ -365,7 +514,7 @@ impl ElkinNode {
     /// Ports that are incident MST edges, in ascending order — the
     /// algorithm's required per-vertex output.
     pub fn mst_ports(&self) -> Vec<PortId> {
-        self.mst.iter().enumerate().filter(|(_, &m)| m).map(|(p, _)| p).collect()
+        (0..self.deg).filter(|&p| self.ports.mst(p)).collect()
     }
 
     /// The parameter `k` this run settled on (after Stage A).
@@ -394,9 +543,9 @@ impl ElkinNode {
         self.bfs_parent
     }
 
-    /// Which incident ports are currently marked as MST edges.
-    pub fn mst_marks(&self) -> &[bool] {
-        &self.mst
+    /// Which incident ports are currently marked as MST edges, by port.
+    pub fn mst_marks(&self) -> Vec<bool> {
+        (0..self.deg).map(|p| self.ports.mst(p)).collect()
     }
 
     /// Stage-boundary rounds recorded by this vertex.
@@ -405,15 +554,10 @@ impl ElkinNode {
     }
 
     /// Sends a stage C/D message and records its words against this round's
-    /// per-port budget (see `ledger`).
+    /// per-port budget (the arena's ledger lanes).
     pub(crate) fn send_cd(&mut self, ctx: &mut RoundCtx<'_, Msg>, port: PortId, msg: Msg) {
         use congest_sim::Message as _;
-        let round = ctx.round();
-        let slot = &mut self.ledger[port];
-        if slot.0 != round {
-            *slot = (round, 0);
-        }
-        slot.1 += msg.words();
+        self.ports.charge_ledger(port, ctx.round(), u64::from(msg.words()));
         ctx.send(port, msg);
     }
 
@@ -428,7 +572,10 @@ impl ElkinNode {
     /// loudly rejects any future send that violates this ordering.
     pub(crate) fn pipe_budget(&self, round: u64, port: PortId) -> u32 {
         let cap = congest_sim::UNIT_WORDS * self.cfg.bandwidth;
-        let used = if self.ledger[port].0 == round { self.ledger[port].1 } else { 0 };
+        let (r, used) = self.ports.ledger(port);
+        // Per-round usage is bounded by `cap` (a u32): the narrowing cast
+        // from the u64 ledger lane cannot truncate.
+        let used = if r == round { used as u32 } else { 0 };
         cap.saturating_sub(used)
     }
 }

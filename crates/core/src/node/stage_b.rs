@@ -64,8 +64,8 @@ impl ElkinNode {
         for (port, msg) in inbox {
             match msg {
                 Msg::FragAnnounce { frag, me } => {
-                    self.nbr_frag[port] = frag;
-                    self.nbr_id[port] = me;
+                    self.ports.set_nbr_frag(port, frag);
+                    self.ports.set_nbr_id(port, me);
                 }
                 Msg::Probe { ttl } => self.b_probe_receive(ctx, port, ttl),
                 Msg::MwoeUp { cand, overflow } => {
@@ -147,7 +147,7 @@ impl ElkinNode {
                 Msg::AcceptPath => match self.b.col_sel {
                     Sel::Mine(q) => {
                         self.b.matched_port = Some(q);
-                        self.mst[q] = true;
+                        self.ports.mark_mst(q);
                         ctx.send(q, Msg::AcceptCross { parent_frag: self.frag_id });
                     }
                     Sel::Child(c) => ctx.send(c, Msg::AcceptPath),
@@ -155,7 +155,7 @@ impl ElkinNode {
                 },
                 Msg::AcceptCross { parent_frag } => {
                     self.b.matched_port = Some(port);
-                    self.mst[port] = true;
+                    self.ports.mark_mst(port);
                     if self.is_frag_root() {
                         self.b.matched = true;
                         self.b.newly_matched = true;
@@ -191,21 +191,21 @@ impl ElkinNode {
                 }
                 Msg::MergePath => match self.b.sel {
                     Sel::Mine(q) => {
-                        self.mst[q] = true;
+                        self.ports.mark_mst(q);
                         ctx.send(q, Msg::MergeCross);
                     }
                     Sel::Child(c) => ctx.send(c, Msg::MergePath),
                     Sel::None => unreachable!("MergePath reached a subtree without a candidate"),
                 },
                 Msg::MergeCross => {
-                    self.mst[port] = true;
+                    self.ports.mark_mst(port);
                     self.b.merge_ports.push(port);
                     if self.cfg.merge_control == MergeControl::Uncontrolled
                         && Some(port) == self.b.out_port
                     {
                         // Mutual MWOE: tell the root so the higher-id side
                         // can initiate the flood.
-                        let partner = self.nbr_frag[port];
+                        let partner = self.ports.nbr_frag(port);
                         if self.is_frag_root() {
                             self.b.partner = Some(partner);
                         } else {
@@ -401,7 +401,9 @@ impl ElkinNode {
                     // own out-edge has the higher id, it is my parent, not my
                     // child.
                     if let Some(q) = self.b.out_port {
-                        if self.b.foreign_child[q].is_some() && self.nbr_frag[q] > self.frag_id {
+                        if self.b.foreign_child[q].is_some()
+                            && self.ports.nbr_frag(q) > self.frag_id
+                        {
                             self.b.foreign_child[q] = None;
                         }
                     }
@@ -455,7 +457,7 @@ impl ElkinNode {
                         match self.b.col_sel {
                             Sel::Mine(q) => {
                                 self.b.matched_port = Some(q);
-                                self.mst[q] = true;
+                                self.ports.mark_mst(q);
                                 ctx.send(q, Msg::AcceptCross { parent_frag: self.frag_id });
                             }
                             Sel::Child(ch) => ctx.send(ch, Msg::AcceptPath),
@@ -490,7 +492,7 @@ impl ElkinNode {
                 {
                     match self.b.sel {
                         Sel::Mine(q) => {
-                            self.mst[q] = true;
+                            self.ports.mark_mst(q);
                             ctx.send(q, Msg::MergeCross);
                         }
                         Sel::Child(c) => ctx.send(c, Msg::MergePath),
@@ -604,8 +606,8 @@ impl ElkinNode {
         let mut best: Option<CandKey> = None;
         let mut sel = Sel::None;
         for q in 0..self.deg {
-            if self.nbr_frag[q] != self.frag_id && self.nbr_frag[q] != super::UNKNOWN {
-                let k = CandKey::new(self.weights[q], self.id, self.nbr_id[q]);
+            if self.ports.nbr_frag(q) != self.frag_id && self.ports.nbr_frag(q) != super::UNKNOWN {
+                let k = CandKey::new(self.ports.weight(q), self.id, self.ports.nbr_id(q));
                 if best.is_none_or(|b| k < b) {
                     best = Some(k);
                     sel = Sel::Mine(q);

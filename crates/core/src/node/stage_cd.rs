@@ -128,11 +128,10 @@ impl ElkinNode {
                 Msg::CoarseAnnounce { coarse, me } => {
                     // The sender announces once per phase in phase order,
                     // so the per-port count *is* the announce's phase.
-                    self.nbr_id[port] = me;
-                    let ph = self.ann_count[port];
-                    self.ann_count[port] += 1;
+                    self.ports.set_nbr_id(port, me);
+                    let ph = self.ports.bump_ann_count(port);
                     if ph == self.d.phase {
-                        self.nbr_coarse[port] = coarse;
+                        self.ports.set_nbr_coarse(port, coarse);
                         self.d.ann_recv += 1;
                     } else {
                         debug_assert_eq!(
@@ -141,7 +140,7 @@ impl ElkinNode {
                             "announce phase skew > 1 at vertex {}",
                             self.id
                         );
-                        self.nbr_coarse_next[port] = coarse;
+                        self.ports.set_nbr_coarse_next(port, coarse);
                         self.ann_recv_next += 1;
                     }
                 }
@@ -165,7 +164,7 @@ impl ElkinNode {
                 Msg::Candidate { rec } => {
                     // Candidates from a port belong to the phase after the
                     // last `UpDone` seen on it (per-edge FIFO).
-                    let ph = self.updone_count[port];
+                    let ph = self.ports.updone_count(port);
                     if ph == self.d.phase {
                         self.cd_offer(rec);
                     } else {
@@ -179,8 +178,7 @@ impl ElkinNode {
                     }
                 }
                 Msg::UpDone => {
-                    let ph = self.updone_count[port];
-                    self.updone_count[port] += 1;
+                    let ph = self.ports.bump_updone_count(port);
                     if ph == self.d.phase {
                         self.d.updone_children += 1;
                     } else {
@@ -215,13 +213,13 @@ impl ElkinNode {
                 // `d.sel` still holds the phase's argmin selection.
                 Msg::MarkPath => match self.d.sel {
                     Sel::Mine(q) => {
-                        self.mst[q] = true;
+                        self.ports.mark_mst(q);
                         self.send_cd(ctx, q, Msg::MarkCross);
                     }
                     Sel::Child(c) => self.send_cd(ctx, c, Msg::MarkPath),
                     Sel::None => unreachable!("MarkPath reached a subtree without a candidate"),
                 },
-                Msg::MarkCross => self.mst[port] = true,
+                Msg::MarkCross => self.ports.mark_mst(port),
                 other => unreachable!("stage C/D received {other:?}"),
             }
         }
@@ -437,9 +435,9 @@ impl ElkinNode {
         let mut best: Option<(CandKey, u64, u64)> = None;
         let mut sel = Sel::None;
         for q in 0..self.deg {
-            let nc = self.nbr_coarse[q];
+            let nc = self.ports.nbr_coarse(q);
             if nc != self.coarse && nc != UNKNOWN {
-                let key = CandKey::new(self.weights[q], self.id, self.nbr_id[q]);
+                let key = CandKey::new(self.ports.weight(q), self.id, self.ports.nbr_id(q));
                 if best.is_none_or(|(b, _, _)| key < b) {
                     best = Some((key, self.coarse, nc));
                     sel = Sel::Mine(q);
@@ -540,7 +538,7 @@ impl ElkinNode {
         if chosen {
             match self.d.sel {
                 Sel::Mine(q) => {
-                    self.mst[q] = true;
+                    self.ports.mark_mst(q);
                     self.send_cd(ctx, q, Msg::MarkCross);
                 }
                 Sel::Child(c) => self.send_cd(ctx, c, Msg::MarkPath),
@@ -580,9 +578,10 @@ impl ElkinNode {
         self.d.ann_recv = std::mem::take(&mut self.ann_recv_next);
         self.d.updone_children = std::mem::take(&mut self.updone_next);
         for q in 0..self.deg {
-            if self.nbr_coarse_next[q] != UNKNOWN {
-                self.nbr_coarse[q] = self.nbr_coarse_next[q];
-                self.nbr_coarse_next[q] = UNKNOWN;
+            let next = self.ports.nbr_coarse_next(q);
+            if next != UNKNOWN {
+                self.ports.set_nbr_coarse(q, next);
+                self.ports.set_nbr_coarse_next(q, UNKNOWN);
             }
         }
         for rec in std::mem::take(&mut self.cand_next) {

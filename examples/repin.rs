@@ -1,6 +1,8 @@
 //! Re-pin helper: prints the exact `(rounds, messages)` golden counts for
-//! every workload pinned in `tests/round_pins.rs`, in pin order, so a
-//! conscious protocol change can ratchet the budgets in one run:
+//! every workload pinned in `tests/round_pins.rs`, in pin order — plus the
+//! total encoded wire words of each run, the golden that the wallclock and
+//! T1-smoke wire gates pin — so a conscious protocol change can ratchet
+//! the budgets in one run:
 //!
 //! ```text
 //! cargo run --release --example repin            # the n = 256 trio pins
@@ -18,10 +20,11 @@ use dmst_bench::standard_trio;
 fn print_stats(algo: &Algorithm, g: &dmst::graphs::WeightedGraph, label: &str) {
     let (_, _, stats) = algo.run_stats(g).unwrap_or_else(|e| panic!("{label}: {e}"));
     println!(
-        "{label:<24} {:<16} RoundBudget::new({}, {}),",
+        "{label:<24} {:<16} RoundBudget::new({}, {}),  // wire words: {}",
         algo.name(),
         stats.rounds,
-        stats.messages
+        stats.messages,
+        stats.wire_words
     );
 }
 
@@ -55,8 +58,15 @@ fn main() {
         let run = run_mst(&g2304, &ElkinConfig::adaptive()).expect("adaptive 2304");
         let p = run.profile;
         println!(
-            "cliquepath 288x8 adaptive: rounds {} messages {} profile a/b/c/d = {}/{}/{}/{}",
-            run.stats.rounds, run.stats.messages, p.stage_a, p.stage_b, p.stage_c, p.stage_d
+            "cliquepath 288x8 adaptive: rounds {} messages {} wire words {} \
+             profile a/b/c/d = {}/{}/{}/{}",
+            run.stats.rounds,
+            run.stats.messages,
+            run.stats.wire_words,
+            p.stage_a,
+            p.stage_b,
+            p.stage_c,
+            p.stage_d
         );
     }
 }
